@@ -1,0 +1,882 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §3 for the experiment index and
+   EXPERIMENTS.md for recorded paper-vs-measured results).
+
+   Usage:  dune exec bench/main.exe [-- EXPERIMENT...]
+   Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
+                ablation_reuse ablation_dirty ablation_boundary
+                ablation_remirror bechamel all
+   Environment:
+     NYX_BENCH_BUDGET_S    virtual seconds per campaign (default 20)
+     NYX_BENCH_REPS        repetitions per cell (default 1; paper used 10)
+     NYX_BENCH_MAX_EXECS   execution cap per campaign (default 30000)
+     NYX_BENCH_MARIO       comma-separated levels for table4
+                           (default "1-1,1-2,1-3,1-4,2-1"; "all" = 32 levels)
+     NYX_BENCH_OUT         CSV output directory (default "bench_out") *)
+
+open Nyx_core
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let budget_ns = env_int "NYX_BENCH_BUDGET_S" 30 * 1_000_000_000
+let reps = env_int "NYX_BENCH_REPS" 1
+let max_execs = env_int "NYX_BENCH_MAX_EXECS" 30_000
+let out_dir = Option.value ~default:"bench_out" (Sys.getenv_opt "NYX_BENCH_OUT")
+
+let mario_levels () =
+  match Sys.getenv_opt "NYX_BENCH_MARIO" with
+  | Some "all" -> List.map (fun l -> l.Nyx_mario.Level.name) (Nyx_mario.Level.all ())
+  | Some s -> String.split_on_char ',' s
+  | None -> [ "1-1"; "1-2"; "1-3"; "1-4"; "2-1" ]
+
+let ensure_out_dir () = if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755
+
+let write_csv name lines =
+  ensure_out_dir ();
+  let path = Filename.concat out_dir name in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+  Printf.printf "  [csv] %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* The campaign matrix: fuzzer x target x repetition, computed lazily. *)
+
+type fuzzer = Nyx of Policy.kind | Baseline of Nyx_baselines.Fuzzers.spec
+
+let fuzzer_name = function
+  | Nyx p -> Policy.name p
+  | Baseline s -> s.Nyx_baselines.Fuzzers.name
+
+let all_fuzzers =
+  [
+    Baseline Nyx_baselines.Fuzzers.aflnet;
+    Baseline Nyx_baselines.Fuzzers.aflnet_no_state;
+    Baseline Nyx_baselines.Fuzzers.aflnwe;
+    Baseline Nyx_baselines.Fuzzers.aflpp_preeny;
+    Nyx Policy.None_;
+    Nyx Policy.Balanced;
+    Nyx Policy.Aggressive;
+  ]
+
+let run_one ?(asan = false) ?(stop_on_solve = false) ?budget fuzzer entry seed =
+  let budget_ns = Option.value ~default:budget_ns budget in
+  match fuzzer with
+  | Nyx policy ->
+    Some
+      (Campaign.run
+         {
+           Campaign.policy;
+           budget_ns;
+           max_execs;
+           seed;
+           asan;
+           stop_on_solve;
+           trim = false;
+           sample_interval_ns = 250_000_000;
+         }
+         entry)
+  | Baseline spec -> Nyx_baselines.Fuzzers.run spec ~budget_ns ~max_execs ~seed entry
+
+let matrix : (string * string, Report.campaign_result list option) Hashtbl.t =
+  Hashtbl.create 128
+
+let cell fuzzer entry =
+  let tname = entry.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name in
+  let key = (fuzzer_name fuzzer, tname) in
+  match Hashtbl.find_opt matrix key with
+  | Some r -> r
+  | None ->
+    Printf.eprintf "  running %-18s on %-14s (%d rep%s)...\n%!" (fst key) tname reps
+      (if reps = 1 then "" else "s");
+    let results =
+      List.init reps (fun i -> run_one fuzzer entry (1 + i))
+      |> List.fold_left
+           (fun acc r -> match (acc, r) with Some l, Some r -> Some (r :: l) | _ -> None)
+           (Some [])
+    in
+    Hashtbl.replace matrix key results;
+    results
+
+let targets = Nyx_targets.Registry.profuzzbench ()
+
+let target_name e =
+  e.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: crashes found by each fuzzer.                              *)
+
+let interesting_crash (c : Report.crash_report) = c.Report.kind <> "level-solved"
+
+let table1 () =
+  Printf.printf "\n== Table 1: crashes found in ProFuzzBench targets ==\n";
+  Printf.printf "   (x = crash found; (x) = found only with ASan; - = none; n/a = cannot run)\n\n";
+  Printf.printf "%-14s" "Target";
+  List.iter (fun f -> Printf.printf " %-16s" (fuzzer_name f)) all_fuzzers;
+  Printf.printf "\n";
+  let rows = ref [] in
+  List.iter
+    (fun entry ->
+      Printf.printf "%-14s" (target_name entry);
+      let row =
+        List.map
+          (fun fuzzer ->
+            let mark =
+              match cell fuzzer entry with
+              | None -> "n/a"
+              | Some results ->
+                if List.exists (fun r -> List.exists interesting_crash r.Report.crashes) results
+                then "x"
+                else begin
+                  (* The dcmtk footnote: silent corruption is reliably
+                     caught only under ASan for snapshot fuzzers. *)
+                  match fuzzer with
+                  | Nyx _ when target_name entry = "dcmtk" -> (
+                    match run_one ~asan:true fuzzer entry 1 with
+                    | Some r when List.exists interesting_crash r.Report.crashes -> "(x)"
+                    | _ -> "-")
+                  | _ -> "-"
+                end
+            in
+            Printf.printf " %-16s" mark;
+            mark)
+          all_fuzzers
+      in
+      rows := (target_name entry, row) :: !rows;
+      Printf.printf "\n")
+    targets;
+  write_csv "table1.csv"
+    (("target," ^ String.concat "," (List.map fuzzer_name all_fuzzers))
+    :: List.rev_map (fun (t, row) -> t ^ "," ^ String.concat "," row) !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: median branch coverage vs AFLNet.                          *)
+
+let median_edges results =
+  Nyx_sim.Stats.median (List.map (fun r -> float_of_int r.Report.final_edges) results)
+
+let table2 () =
+  Printf.printf "\n== Table 2: median branch coverage (vs aflnet; * = p<0.05 Mann-Whitney U) ==\n\n";
+  Printf.printf "%-14s %9s" "Target" "aflnet";
+  List.iter
+    (fun f -> if fuzzer_name f <> "aflnet" then Printf.printf " %15s" (fuzzer_name f))
+    all_fuzzers;
+  Printf.printf "\n";
+  let csv = ref [] in
+  List.iter
+    (fun entry ->
+      let base = cell (Baseline Nyx_baselines.Fuzzers.aflnet) entry in
+      match base with
+      | None -> ()
+      | Some base_results ->
+        let base_median = median_edges base_results in
+        Printf.printf "%-14s %9.1f" (target_name entry) base_median;
+        let row = ref [ Printf.sprintf "%.1f" base_median ] in
+        List.iter
+          (fun fuzzer ->
+            if fuzzer_name fuzzer <> "aflnet" then begin
+              match cell fuzzer entry with
+              | None ->
+                Printf.printf " %15s" "n/a";
+                row := "n/a" :: !row
+              | Some results ->
+                let m = median_edges results in
+                let delta = 100.0 *. (m -. base_median) /. Float.max 1.0 base_median in
+                let signif =
+                  List.length results >= 3
+                  && Nyx_sim.Stats.mann_whitney_u
+                       (List.map (fun r -> float_of_int r.Report.final_edges) results)
+                       (List.map (fun r -> float_of_int r.Report.final_edges) base_results)
+                     < 0.05
+                in
+                let s = Printf.sprintf "%+.1f%%%s" delta (if signif then "*" else "") in
+                Printf.printf " %15s" s;
+                row := s :: !row
+            end)
+          all_fuzzers;
+        Printf.printf "\n";
+        csv := (target_name entry ^ "," ^ String.concat "," (List.rev !row)) :: !csv)
+    targets;
+  write_csv "table2.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: throughput (executions per virtual second).                *)
+
+let table3 () =
+  Printf.printf "\n== Table 3: test throughput (execs per virtual second, mean +/- stddev) ==\n\n";
+  Printf.printf "%-14s" "Target";
+  List.iter (fun f -> Printf.printf " %18s" (fuzzer_name f)) all_fuzzers;
+  Printf.printf "\n";
+  let csv = ref [] in
+  List.iter
+    (fun entry ->
+      Printf.printf "%-14s" (target_name entry);
+      let row = ref [] in
+      List.iter
+        (fun fuzzer ->
+          match cell fuzzer entry with
+          | None ->
+            Printf.printf " %18s" "-";
+            row := "-" :: !row
+          | Some results ->
+            let rates = List.map (fun r -> r.Report.execs_per_sec) results in
+            let s =
+              Printf.sprintf "%.1f +/- %.1f" (Nyx_sim.Stats.mean rates)
+                (Nyx_sim.Stats.stddev rates)
+            in
+            Printf.printf " %18s" s;
+            row := s :: !row)
+        all_fuzzers;
+      Printf.printf "\n";
+      csv := (target_name entry ^ "," ^ String.concat "," (List.rev !row)) :: !csv)
+    targets;
+  write_csv "table3.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: time to equal coverage.                                    *)
+
+let table5 () =
+  Printf.printf "\n== Table 5: how much faster Nyx-Net reaches AFLNet's final coverage ==\n\n";
+  Printf.printf "%-14s %18s %12s %12s %12s\n" "Target" "aflnet final time" "nyx-none"
+    "balanced" "aggressive";
+  let csv = ref [] in
+  List.iter
+    (fun entry ->
+      match cell (Baseline Nyx_baselines.Fuzzers.aflnet) entry with
+      | None -> ()
+      | Some base_results ->
+        let base = Campaign.median_result base_results in
+        let final_cov = float_of_int base.Report.final_edges in
+        let final_time =
+          Option.value ~default:base.Report.virtual_ns
+            (Nyx_sim.Stats.Timeline.first_time_reaching base.Report.timeline final_cov)
+        in
+        let speedup policy =
+          match cell (Nyx policy) entry with
+          | None -> "-"
+          | Some results -> (
+            let r = Campaign.median_result results in
+            match Nyx_sim.Stats.Timeline.first_time_reaching r.Report.timeline final_cov with
+            | None -> "-"
+            | Some t -> Printf.sprintf "%.0fx" (float_of_int final_time /. float_of_int (max 1 t)))
+        in
+        let n = speedup Policy.None_
+        and b = speedup Policy.Balanced
+        and a = speedup Policy.Aggressive in
+        Printf.printf "%-14s %18s %12s %12s %12s\n" (target_name entry)
+          (Format.asprintf "%a" Nyx_sim.Clock.pp_duration final_time)
+          n b a;
+        csv := Printf.sprintf "%s,%d,%s,%s,%s" (target_name entry) final_time n b a :: !csv)
+    targets;
+  write_csv "table5.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: median coverage over time.                                *)
+
+let fig5 () =
+  Printf.printf "\n== Figure 5: coverage over time (CSV per target) ==\n";
+  List.iter
+    (fun entry ->
+      let grid = List.init 60 (fun i -> (i + 1) * (budget_ns / 60)) in
+      let series =
+        List.filter_map
+          (fun fuzzer ->
+            match cell fuzzer entry with
+            | None -> None
+            | Some results ->
+              let timelines = List.map (fun r -> r.Report.timeline) results in
+              Some (fuzzer_name fuzzer, Nyx_sim.Stats.Timeline.median_across timelines grid))
+          all_fuzzers
+      in
+      let header = "time_s," ^ String.concat "," (List.map fst series) in
+      let lines =
+        List.mapi
+          (fun i t ->
+            let vals =
+              List.map
+                (fun (_, pts) ->
+                  let _, v = List.nth pts i in
+                  Printf.sprintf "%.0f" v)
+                series
+            in
+            Printf.sprintf "%.2f,%s" (float_of_int t /. 1e9) (String.concat "," vals))
+          grid
+      in
+      write_csv (Printf.sprintf "fig5_%s.csv" (target_name entry)) (header :: lines))
+    targets
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: Super Mario time-to-solve.                                 *)
+
+let mario_reps = env_int "NYX_BENCH_MARIO_REPS" 3
+let mario_budget = 2 * 3_600_000_000_000 (* 2 virtual hours per attempt *)
+
+let mario_cell level_name config_name runner =
+  let level = Option.get (Nyx_mario.Level.find level_name) in
+  let entry =
+    {
+      Nyx_targets.Registry.target = Nyx_mario.Mario_target.target level;
+      seeds = Nyx_mario.Mario_target.seeds level;
+    }
+  in
+  let times =
+    List.init mario_reps (fun i ->
+        match runner entry (1 + i) with
+        | Some r -> r.Report.solved_ns
+        | None -> None)
+  in
+  let solved = List.filter_map Fun.id times in
+  ignore config_name;
+  (Nyx_sim.Stats.median (List.map float_of_int solved), List.length solved)
+
+let table4 () =
+  Printf.printf "\n== Table 4: Super Mario time to solve (median of %d; virtual time) ==\n\n"
+    mario_reps;
+  Printf.printf "%-6s %14s %14s %14s %14s %10s\n" "Level" "ijon" "nyx-none" "balanced"
+    "aggressive" "speedup";
+  let nyx policy entry seed =
+    Some
+      (Campaign.run
+         {
+           Campaign.policy;
+           budget_ns = mario_budget;
+           max_execs = 150_000;
+           seed;
+           asan = false;
+           stop_on_solve = true;
+           trim = false;
+           sample_interval_ns = 10_000_000_000;
+         }
+         entry)
+  in
+  let ijon entry seed =
+    Nyx_baselines.Fuzzers.ijon ~budget_ns:mario_budget ~max_execs:150_000 ~seed entry
+  in
+  let csv = ref [] in
+  List.iter
+    (fun level ->
+      let cells =
+        [
+          ("ijon", mario_cell level "ijon" ijon);
+          ("none", mario_cell level "none" (nyx Policy.None_));
+          ("balanced", mario_cell level "balanced" (nyx Policy.Balanced));
+          ("aggressive", mario_cell level "aggressive" (nyx Policy.Aggressive));
+        ]
+      in
+      let fmt (median, solved) =
+        if solved = 0 then "-"
+        else begin
+          let s = Format.asprintf "%a" Nyx_sim.Clock.pp_duration (int_of_float median) in
+          if solved < mario_reps then Printf.sprintf "%s %d/%d" s solved mario_reps else s
+        end
+      in
+      let ijon_t, ijon_solved = List.assoc "ijon" cells in
+      let best =
+        List.fold_left
+          (fun acc (name, (t, solved)) ->
+            if name <> "ijon" && solved > 0 then
+              match acc with Some (_, bt) when bt <= t -> acc | _ -> Some (name, t)
+            else acc)
+          None cells
+      in
+      let speedup =
+        match best with
+        | Some (_, t) when ijon_solved > 0 && t > 0.0 ->
+          Printf.sprintf "(%.1fx)" (ijon_t /. t)
+        | _ -> ""
+      in
+      Printf.printf "%-6s %14s %14s %14s %14s %10s\n%!" level
+        (fmt (List.assoc "ijon" cells))
+        (fmt (List.assoc "none" cells))
+        (fmt (List.assoc "balanced" cells))
+        (fmt (List.assoc "aggressive" cells))
+        speedup;
+      csv :=
+        Printf.sprintf "%s,%s,%s,%s,%s,%s" level
+          (fmt (List.assoc "ijon" cells))
+          (fmt (List.assoc "none" cells))
+          (fmt (List.assoc "balanced" cells))
+          (fmt (List.assoc "aggressive" cells))
+          speedup
+        :: !csv)
+    (mario_levels ());
+  write_csv "table4.csv"
+    ("level,ijon,nyx-none,nyx-balanced,nyx-aggressive,speedup" :: List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: incremental-snapshot create/restore vs dirty pages.       *)
+
+let dirty_n_pages vm rng n =
+  let pages = Nyx_vm.Memory.num_pages vm.Nyx_vm.Vm.mem in
+  let seen = Hashtbl.create n in
+  let rec pick () =
+    let p = 1 + Nyx_sim.Rng.int rng (pages - 1) in
+    if Hashtbl.mem seen p then pick () else (Hashtbl.replace seen p (); p)
+  in
+  for _ = 1 to n do
+    Nyx_vm.Memory.write_u8 vm.Nyx_vm.Vm.mem (pick () * Nyx_vm.Page.size) 1
+  done
+
+let fig6_engine config n =
+  (* Nyx-Net: dirty n pages, take an incremental snapshot, dirty n pages
+     again, restore — the paper's measurement loop. *)
+  let clock = Nyx_sim.Clock.create () in
+  let vm = Nyx_vm.Vm.create ~config clock in
+  let aux = Nyx_snapshot.Aux_state.create () in
+  let eng = Nyx_snapshot.Engine.create vm aux in
+  let rng = Nyx_sim.Rng.create 42 in
+  dirty_n_pages vm rng n;
+  let t0 = Nyx_sim.Clock.now_ns clock in
+  Nyx_snapshot.Engine.take_incremental eng;
+  let create_ns = Nyx_sim.Clock.now_ns clock - t0 in
+  dirty_n_pages vm rng n;
+  let t1 = Nyx_sim.Clock.now_ns clock in
+  Nyx_snapshot.Engine.restore eng;
+  let restore_ns = Nyx_sim.Clock.now_ns clock - t1 in
+  (create_ns, restore_ns)
+
+let fig6_agamotto config n =
+  let clock = Nyx_sim.Clock.create () in
+  let vm = Nyx_vm.Vm.create ~config clock in
+  let aux = Nyx_snapshot.Aux_state.create () in
+  let ag = Nyx_snapshot.Agamotto.create vm aux in
+  let rng = Nyx_sim.Rng.create 42 in
+  dirty_n_pages vm rng n;
+  let t0 = Nyx_sim.Clock.now_ns clock in
+  let cp = Nyx_snapshot.Agamotto.checkpoint ag in
+  let create_ns = Nyx_sim.Clock.now_ns clock - t0 in
+  dirty_n_pages vm rng n;
+  let t1 = Nyx_sim.Clock.now_ns clock in
+  Nyx_snapshot.Agamotto.restore ag cp;
+  let restore_ns = Nyx_sim.Clock.now_ns clock - t1 in
+  (create_ns, restore_ns)
+
+let fig6 () =
+  Printf.printf
+    "\n== Figure 6: incremental snapshot create/restore cost vs dirty pages ==\n";
+  Printf.printf "   (virtual microseconds; VM sizes match the paper's page counts)\n\n";
+  Printf.printf "%-10s %-8s %15s %15s %15s %15s\n" "vm" "pages" "nyx create" "nyx restore"
+    "agamotto create" "agamotto restore";
+  let csv = ref [ "vm,n,nyx_create_us,nyx_restore_us,aga_create_us,aga_restore_us" ] in
+  List.iter
+    (fun (vm_name, config) ->
+      List.iter
+        (fun n ->
+          let mem_pages = config.Nyx_vm.Vm.mem_pages in
+          if n * 4 > mem_pages * 3 then
+            (* The paper's 512MB VM could not allocate 10^5 pages. *)
+            Printf.printf "%-10s %-8d %15s %15s %15s %15s\n" vm_name n "-" "-" "-" "-"
+          else begin
+            let nc, nr = fig6_engine config n in
+            let ac, ar = fig6_agamotto config n in
+            Printf.printf "%-10s %-8d %15.1f %15.1f %15.1f %15.1f\n%!" vm_name n
+              (float_of_int nc /. 1e3) (float_of_int nr /. 1e3) (float_of_int ac /. 1e3)
+              (float_of_int ar /. 1e3);
+            csv :=
+              Printf.sprintf "%s,%d,%.1f,%.1f,%.1f,%.1f" vm_name n (float_of_int nc /. 1e3)
+                (float_of_int nr /. 1e3) (float_of_int ac /. 1e3) (float_of_int ar /. 1e3)
+              :: !csv
+          end)
+        [ 10; 100; 1_000; 10_000; 100_000; 500_000 ])
+    [ ("512MB", Nyx_vm.Vm.small_config); ("4GB", Nyx_vm.Vm.large_config) ];
+  write_csv "fig6.csv" (List.rev !csv)
+
+(* ------------------------------------------------------------------ *)
+(* Scalability: shared root snapshots across instances (§5.3).         *)
+
+let scalability () =
+  Printf.printf "\n== Scalability: memory for N instances with a shared root snapshot ==\n\n";
+  let entry = Option.get (Nyx_targets.Registry.find "lightftp") in
+  let spec = Campaign.net_spec () in
+  let exec = Executor.create ~net_spec:spec entry.Nyx_targets.Registry.target in
+  (* Warm one instance (snapshot sessions included) so the mirror carries
+     a typical working set. *)
+  let seed = List.hd (Campaign.make_seeds entry spec) in
+  ignore (Executor.run_full exec seed);
+  let with_snap =
+    Nyx_spec.Program.with_snapshot_at seed (Nyx_spec.Program.packet_count seed - 1)
+  in
+  (match Executor.start_session exec with_snap with
+  | Ok session ->
+    for _ = 1 to 50 do
+      ignore (Executor.run_suffix exec session with_snap)
+    done;
+    Executor.end_session exec session
+  | Error _ -> ());
+  (* A real root snapshot owns the guest's whole physical image (the
+     paper's VMs are 512MB-4GB); our sparse memory only materializes
+     touched pages, so account for the logical image size, which is what
+     sharing avoids copying. *)
+  let root_logical = Nyx_vm.Vm.fuzz_config.Nyx_vm.Vm.mem_pages * Nyx_vm.Page.size in
+  let root_materialized = Executor.root_stored_bytes exec in
+  let per_instance = max Nyx_vm.Page.size (Executor.mirror_bytes exec) in
+  Printf.printf
+    "  logical root image: %d KiB (%d KiB materialized); per-instance private state: %d B\n\n"
+    (root_logical / 1024) (root_materialized / 1024) per_instance;
+  Printf.printf "%-12s %18s %18s %8s\n" "instances" "shared root (KiB)" "naive copies (KiB)"
+    "saving";
+  List.iter
+    (fun n ->
+      let shared = root_logical + (n * per_instance) in
+      let naive = n * (root_logical + per_instance) in
+      Printf.printf "%-12d %18d %18d %7.1fx\n" n (shared / 1024) (naive / 1024)
+        (float_of_int naive /. float_of_int shared))
+    [ 1; 8; 80 ];
+  let eighty =
+    float_of_int (root_logical + (80 * per_instance))
+    /. float_of_int (root_logical + per_instance)
+  in
+  Printf.printf
+    "\n  80 instances need %.2fx the memory of one instance (the paper reports ~2x).\n"
+    eighty
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+
+let ablation_reuse () =
+  Printf.printf
+    "\n== Ablation: incremental-snapshot reuse count (exim; 50 = paper's choice) ==\n\n";
+  let entry = Option.get (Nyx_targets.Registry.find "exim") in
+  let spec = Campaign.net_spec () in
+  let exec = Executor.create ~net_spec:spec entry.Nyx_targets.Registry.target in
+  let seed = List.hd (Campaign.make_seeds entry spec) in
+  ignore (Executor.run_full exec seed);
+  let full = Executor.run_full exec seed in
+  let with_snap =
+    Nyx_spec.Program.with_snapshot_at seed (Nyx_spec.Program.packet_count seed - 1)
+  in
+  Printf.printf "%-8s %18s %14s\n" "reuses" "ns/exec (amortized)" "vs full exec";
+  List.iter
+    (fun reuses ->
+      match Executor.start_session exec with_snap with
+      | Error _ -> ()
+      | Ok session ->
+        let clock = Executor.clock exec in
+        let t0 = Nyx_sim.Clock.now_ns clock in
+        for _ = 1 to reuses do
+          ignore (Executor.run_suffix exec session with_snap)
+        done;
+        Executor.end_session exec session;
+        (* Amortize the prefix execution over the reuses. *)
+        let total = Nyx_sim.Clock.now_ns clock - t0 in
+        let per_exec = (total / reuses) + (full.Report.exec_ns / reuses) in
+        Printf.printf "%-8d %18d %13.1fx\n%!" reuses per_exec
+          (float_of_int full.Report.exec_ns /. float_of_int per_exec))
+    [ 1; 5; 10; 25; 50; 100; 250 ]
+
+let ablation_dirty () =
+  Printf.printf
+    "\n== Ablation: dirty-stack vs full-bitmap-scan enumeration (restore path) ==\n\n";
+  Printf.printf "%-10s %15s %18s\n" "dirty" "stack walk (us)" "bitmap scan (us)";
+  let config = Nyx_vm.Vm.large_config in
+  List.iter
+    (fun n ->
+      let clock = Nyx_sim.Clock.create () in
+      let vm = Nyx_vm.Vm.create ~config clock in
+      let rng = Nyx_sim.Rng.create 1 in
+      dirty_n_pages vm rng n;
+      let dirty = Nyx_vm.Memory.dirty vm.Nyx_vm.Vm.mem in
+      let t0 = Nyx_sim.Clock.now_ns clock in
+      Nyx_vm.Dirty_log.iter_stack dirty clock ignore;
+      let stack_ns = Nyx_sim.Clock.now_ns clock - t0 in
+      let t1 = Nyx_sim.Clock.now_ns clock in
+      Nyx_vm.Dirty_log.iter_bitmap dirty clock ignore;
+      let bitmap_ns = Nyx_sim.Clock.now_ns clock - t1 in
+      Printf.printf "%-10d %15.1f %18.1f\n" n (float_of_int stack_ns /. 1e3)
+        (float_of_int bitmap_ns /. 1e3))
+    [ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+
+let ablation_boundary () =
+  Printf.printf
+    "\n== Ablation: packet-boundary emulation on/off (seed replay as one burst) ==\n";
+  Printf.printf "   (\"a frightening amount of servers assume one recv = one packet\" - section 3.3)\n\n";
+  Printf.printf "%-14s %12s %12s\n" "target" "boundaries" "coalesced";
+  List.iter
+    (fun name ->
+      let entry = Option.get (Nyx_targets.Registry.find name) in
+      (* Deliver a whole seed session in one burst: with boundary emulation
+         each send is one recv; without it, queued packets coalesce into a
+         single read, as a real TCP stack is allowed to do. *)
+      let run boundaries =
+        let clock = Nyx_sim.Clock.create () in
+        let vm = Nyx_vm.Vm.create clock in
+        let net = Nyx_netemu.Net.create ~boundaries clock in
+        let ctx = Nyx_targets.Ctx.of_vm ~net vm in
+        let rt = Nyx_targets.Target.boot entry.Nyx_targets.Registry.target ctx in
+        Nyx_targets.Target.pump rt;
+        (match Nyx_netemu.Net.connect_peer net
+                 ~port:entry.Nyx_targets.Registry.target.Nyx_targets.Target.info
+                        .Nyx_targets.Target.port
+         with
+        | Some flow ->
+          Nyx_targets.Target.pump rt;
+          List.iter
+            (fun packets ->
+              List.iter (fun p -> Nyx_netemu.Net.send_peer net flow p) packets)
+            entry.Nyx_targets.Registry.seeds;
+          (try Nyx_targets.Target.pump rt with Nyx_targets.Ctx.Crash _ -> ())
+        | None -> ());
+        Nyx_targets.Coverage.edge_count ctx.Nyx_targets.Ctx.cov
+      in
+      Printf.printf "%-14s %12d %12d\n%!" name (run true) (run false))
+    [ "lightftp"; "exim"; "bftpd"; "proftpd" ]
+
+let ablation_remirror () =
+  Printf.printf "\n== Ablation: re-mirror interval vs mirror accumulation ==\n\n";
+  Printf.printf "%-10s %16s %12s\n" "interval" "mirror pages" "remirrors";
+  List.iter
+    (fun interval ->
+      let clock = Nyx_sim.Clock.create () in
+      let vm = Nyx_vm.Vm.create clock in
+      let aux = Nyx_snapshot.Aux_state.create () in
+      let eng = Nyx_snapshot.Engine.create ~remirror_interval:interval vm aux in
+      let rng = Nyx_sim.Rng.create 7 in
+      for _ = 1 to 500 do
+        (* Each round dirties a random small working set. *)
+        dirty_n_pages vm rng (1 + Nyx_sim.Rng.int rng 8);
+        Nyx_snapshot.Engine.take_incremental eng;
+        Nyx_snapshot.Engine.restore eng;
+        Nyx_snapshot.Engine.restore_root eng
+      done;
+      let stats = Nyx_snapshot.Engine.stats eng in
+      Printf.printf "%-10d %16d %12d\n" interval
+        (Nyx_snapshot.Engine.mirror_pages eng)
+        stats.Nyx_snapshot.Engine.remirrors)
+    [ 10; 50; 200; 2000 ]
+
+
+
+let ablation_typed_spec () =
+  Printf.printf
+    "\n== Ablation: raw-packet spec vs typed spec (time to the IPC use-after-free) ==\n\n";
+  let entry = Option.get (Nyx_targets.Registry.find "firefox-ipc") in
+  let cfg seed =
+    {
+      Campaign.policy = Policy.Aggressive;
+      budget_ns = 120_000_000_000;
+      max_execs = 40_000;
+      seed;
+      asan = false;
+      stop_on_solve = false;
+      trim = false;
+      sample_interval_ns = 1_000_000_000;
+    }
+  in
+  let time_to_uaf r =
+    List.find_map
+      (fun c ->
+        if c.Report.kind = "use-after-free" then Some c.Report.found_ns else None)
+      r.Report.crashes
+  in
+  Printf.printf "%-6s %16s %8s %16s %8s\n" "seed" "raw UAF" "edges" "typed UAF" "edges";
+  List.iter
+    (fun seed ->
+      let raw = Campaign.run (cfg seed) entry in
+      let ts = Nyx_targets.Ipc_spec.create () in
+      let typed =
+        Campaign.run
+          ~seeds:[ Nyx_targets.Ipc_spec.seed ts ]
+          ~custom:(Nyx_targets.Ipc_spec.handler ts) (cfg seed) entry
+      in
+      let fmt = function
+        | Some t -> Format.asprintf "%a" Nyx_sim.Clock.pp_duration t
+        | None -> "-"
+      in
+      Printf.printf "%-6d %16s %8d %16s %8d\n%!" seed (fmt (time_to_uaf raw))
+        raw.Report.final_edges
+        (fmt (time_to_uaf typed))
+        typed.Report.final_edges)
+    [ 1; 2; 3 ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Case studies (§5.4 MySQL client, §5.5 Lighttpd, §5.6 Firefox IPC).  *)
+
+let case_studies () =
+  Printf.printf "\n== Case studies: the bugs of sections 5.4-5.6 ==\n\n";
+  Printf.printf "%-14s %-6s %-18s %14s %10s\n" "target" "asan" "bug" "found at" "execs";
+  List.iter
+    (fun (name, asan, expected_kind) ->
+      let entry = Option.get (Nyx_targets.Registry.find name) in
+      let cfg =
+        {
+          Campaign.policy = Policy.Aggressive;
+          budget_ns = 120_000_000_000;
+          max_execs = 60_000;
+          seed = 1;
+          asan;
+          stop_on_solve = false;
+          trim = false;
+          sample_interval_ns = 1_000_000_000;
+        }
+      in
+      let r = Campaign.run cfg entry in
+      match
+        List.find_opt (fun c -> c.Report.kind = expected_kind) r.Report.crashes
+      with
+      | Some c ->
+        Printf.printf "%-14s %-6b %-18s %14s %10d\n%!" name asan expected_kind
+          (Format.asprintf "%a" Nyx_sim.Clock.pp_duration c.Report.found_ns)
+          c.Report.found_exec
+      | None ->
+        Printf.printf "%-14s %-6b %-18s %14s %10d\n%!" name asan expected_kind "-"
+          r.Report.execs)
+    [
+      ("mysql-client", true, "asan-heap-oob");
+      ("mysql-client", false, "oob-read");
+      ("lighttpd", false, "alloc-underflow");
+      ("firefox-ipc", true, "use-after-free");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* "Faster than light": 52 parallel instances vs a flawless speedrun.  *)
+
+let faster_than_light () =
+  Printf.printf
+    "\n== Faster than light: 52-instance fleet vs a 60-FPS speedrun (level 1-1) ==\n\n";
+  let level = Option.get (Nyx_mario.Level.find "1-1") in
+  let entry =
+    {
+      Nyx_targets.Registry.target = Nyx_mario.Mario_target.target level;
+      seeds = Nyx_mario.Mario_target.seeds level;
+    }
+  in
+  let speedrun_s = float_of_int (Nyx_mario.Level.speedrun_frames level) /. 60.0 in
+  let config =
+    {
+      Campaign.policy = Policy.Aggressive;
+      budget_ns = 600_000_000_000;
+      max_execs = 100_000;
+      seed = 1;
+      asan = false;
+      stop_on_solve = true;
+      trim = false;
+      sample_interval_ns = 10_000_000_000;
+    }
+  in
+  let fleet = Fleet.run ~instances:52 ~config entry in
+  Printf.printf "  flawless speedrun at 60 FPS:    %.2f s (%d frames)\n" speedrun_s
+    (Nyx_mario.Level.speedrun_frames level);
+  (match fleet.Fleet.first_solve_ns with
+  | Some t ->
+    let solve_s = float_of_int t /. 1e9 in
+    Printf.printf "  first fleet solve (52 cores):   %.2f s  (%d/%d instances solved)\n"
+      solve_s fleet.Fleet.solves fleet.Fleet.instances;
+    Printf.printf "  => %s: the fuzzer finds a solution %s the level can be played once.\n"
+      (if solve_s < speedrun_s then "FASTER THAN LIGHT" else "slower than light")
+      (if solve_s < speedrun_s then "before" else "after")
+  | None -> Printf.printf "  fleet did not solve within the budget\n")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: real wall-clock per table's core loop.   *)
+
+let bechamel_suite () =
+  Printf.printf "\n== Bechamel wall-clock micro-benchmarks ==\n\n";
+  let open Bechamel in
+  let entry = Option.get (Nyx_targets.Registry.find "lightftp") in
+  let spec = Campaign.net_spec () in
+  let exec = Executor.create ~net_spec:spec entry.Nyx_targets.Registry.target in
+  let seed = List.hd (Campaign.make_seeds entry spec) in
+  let mk_snapshot_bench config n =
+    Test.make
+      ~name:(Printf.sprintf "fig6/nyx-create-restore-%d" n)
+      (Staged.stage (fun () -> ignore (fig6_engine config n)))
+  in
+  let tests =
+    [
+      (* Table 2/3's inner loop: one full Nyx-Net execution. *)
+      Test.make ~name:"table2-3/nyx-exec"
+        (Staged.stage (fun () -> ignore (Executor.run_full exec seed)));
+      (* Table 1's crash path: a crashing execution. *)
+      Test.make ~name:"table1/crash-exec"
+        (Staged.stage
+           (let echo = Option.get (Nyx_targets.Registry.find "echo") in
+            let e2 = Executor.create ~net_spec:spec echo.Nyx_targets.Registry.target in
+            let boom =
+              Nyx_spec.Net_spec.seed_of_packets spec
+                [ Bytes.of_string "MODE raw\r\n"; Bytes.of_string "BOOM\r\n" ]
+            in
+            fun () -> ignore (Executor.run_full e2 boom)));
+      (* Table 4's inner loop: a Mario frame burst. *)
+      Test.make ~name:"table4/mario-64-frames"
+        (Staged.stage
+           (let level = Option.get (Nyx_mario.Level.find "1-1") in
+            let clock = Nyx_sim.Clock.create () in
+            let vm = Nyx_vm.Vm.create clock in
+            let net = Nyx_netemu.Net.create clock in
+            let ctx = Nyx_targets.Ctx.of_vm ~net vm in
+            let game = Nyx_mario.Game.boot ctx level in
+            let input = Bytes.make 16 '\x09' in
+            fun () -> try Nyx_mario.Game.run_input game input with
+              | Nyx_mario.Game.Level_solved _ -> ()));
+      (* Figure 6's loops at two dirty-set sizes. *)
+      mk_snapshot_bench Nyx_vm.Vm.small_config 100;
+      mk_snapshot_bench Nyx_vm.Vm.small_config 1000;
+      (* Table 5 derives from timelines: benchmark the query. *)
+      Test.make ~name:"table5/timeline-query"
+        (Staged.stage
+           (let tl = Nyx_sim.Stats.Timeline.create () in
+            for i = 0 to 999 do
+              Nyx_sim.Stats.Timeline.record tl (i * 1000) (float_of_int i)
+            done;
+            fun () -> ignore (Nyx_sim.Stats.Timeline.first_time_reaching tl 900.0)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let clock = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ clock ] (Test.make_grouped ~name:"" [ test ]) in
+      Hashtbl.iter
+        (fun name raws ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              clock raws
+          with
+          | ols -> (
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n%!" name est
+            | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+          | exception _ -> Printf.printf "  %-36s (analysis failed)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("scalability", scalability);
+    ("faster_than_light", faster_than_light);
+    ("ablation_reuse", ablation_reuse);
+    ("ablation_dirty", ablation_dirty);
+    ("ablation_boundary", ablation_boundary);
+    ("ablation_remirror", ablation_remirror);
+    ("ablation_typed", ablation_typed_spec);
+    ("case_studies", case_studies);
+    ("bechamel", bechamel_suite);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] || args = [ "all" ] then List.map fst experiments else args in
+  Printf.printf
+    "Nyx-Net benchmark harness: budget=%ds (virtual), reps=%d, max_execs=%d\n%!"
+    (budget_ns / 1_000_000_000) reps max_execs;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1)
+    args

@@ -1,0 +1,301 @@
+(* nyx-net-fuzz: command-line front end.
+
+   Mirrors the five-step workflow of the paper's §5.4 case study:
+   pick a target, pick or use the default raw-packet spec, optionally
+   import a capture as seeds, and run the fuzzer. *)
+
+open Cmdliner
+
+let targets_doc =
+  "Available targets: "
+  ^ String.concat ", "
+      (List.map
+         (fun e -> e.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name)
+         (Nyx_targets.Registry.all ()))
+
+(* Common arguments *)
+
+let target_arg =
+  let doc = "Fuzz target name. " ^ targets_doc in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let policy_arg =
+  let doc = "Snapshot placement policy: none, balanced or aggressive." in
+  Arg.(value & opt string "aggressive" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let budget_arg =
+  let doc = "Virtual-time budget in seconds." in
+  Arg.(value & opt float 30.0 & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc)
+
+let max_execs_arg =
+  let doc = "Maximum number of executions." in
+  Arg.(value & opt int 200_000 & info [ "max-execs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Campaign random seed." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let asan_arg =
+  let doc = "Enable the address-sanitizer analogue (bounds-checked heap)." in
+  Arg.(value & flag & info [ "asan" ] ~doc)
+
+let fuzzer_arg =
+  let doc = "Fuzzer: nyx (default), aflnet, aflnet-no-state, aflnwe, afl++." in
+  Arg.(value & opt string "nyx" & info [ "f"; "fuzzer" ] ~docv:"FUZZER" ~doc)
+
+let seeds_arg =
+  let doc = "Capture file ($(b,npcap) format) to import as seeds." in
+  Arg.(value & opt (some file) None & info [ "seeds" ] ~docv:"FILE" ~doc)
+
+let lookup_target name =
+  match Nyx_targets.Registry.find name with
+  | Some entry -> Ok entry
+  | None -> Error (`Msg (Printf.sprintf "unknown target %S. %s" name targets_doc))
+
+let print_result r =
+  Format.printf "%a@." Nyx_core.Report.pp_summary r;
+  List.iter
+    (fun c ->
+      Format.printf "  crash: %-18s at exec %-8d vtime %a@.         %s@."
+        c.Nyx_core.Report.kind c.Nyx_core.Report.found_exec Nyx_sim.Clock.pp_duration
+        c.Nyx_core.Report.found_ns c.Nyx_core.Report.detail)
+    r.Nyx_core.Report.crashes;
+  (match r.Nyx_core.Report.snapshot_stats with
+  | Some s ->
+    Format.printf
+      "  snapshots: %d root restores, %d incremental created, %d incremental restores, %d remirrors@."
+      s.Nyx_snapshot.Engine.root_restores s.Nyx_snapshot.Engine.incremental_creates
+      s.Nyx_snapshot.Engine.incremental_restores s.Nyx_snapshot.Engine.remirrors
+  | None -> ());
+  match r.Nyx_core.Report.solved_ns with
+  | Some t -> Format.printf "  level solved at vtime %a@." Nyx_sim.Clock.pp_duration t
+  | None -> ()
+
+let load_seeds entry path =
+  match path with
+  | None -> Ok None
+  | Some path -> (
+    match Nyx_pcap.Capture.load path with
+    | Error m -> Error (`Msg ("cannot load capture: " ^ m))
+    | Ok cap ->
+      let ns = Nyx_core.Campaign.net_spec () in
+      let dissector =
+        entry.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.dissector
+      in
+      Ok (Some [ Nyx_pcap.Importer.to_seed ns dissector cap ]))
+
+(* fuzz command *)
+
+let crash_dir_arg =
+  let doc = "Directory to save crash reproducers into (one file per crash kind)." in
+  Arg.(value & opt (some string) None & info [ "crash-dir" ] ~docv:"DIR" ~doc)
+
+let save_crashes dir (r : Nyx_core.Report.campaign_result) =
+  match dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun c ->
+        let path =
+          Filename.concat dir (Printf.sprintf "%s_%s.bin" r.Nyx_core.Report.target
+                                 c.Nyx_core.Report.kind)
+        in
+        let oc = open_out_bin path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+            output_bytes oc c.Nyx_core.Report.input);
+        Format.printf "  saved reproducer: %s@." path)
+      r.Nyx_core.Report.crashes
+
+let fuzz_cmd =
+  let run target fuzzer policy budget max_execs seed asan seeds_file crash_dir =
+    let ( let* ) = Result.bind in
+    let result =
+      let* entry = lookup_target target in
+      let* seeds = load_seeds entry seeds_file in
+      let budget_ns = int_of_float (budget *. 1e9) in
+      if fuzzer = "nyx" then begin
+        let* policy =
+          Result.map_error (fun m -> `Msg m) (Nyx_core.Policy.of_name policy)
+        in
+        let cfg =
+          {
+            Nyx_core.Campaign.default_config with
+            Nyx_core.Campaign.policy;
+            budget_ns;
+            max_execs;
+            seed;
+            asan;
+          }
+        in
+        Ok (Some (Nyx_core.Campaign.run ?seeds cfg entry))
+      end
+      else begin
+        let* spec =
+          match
+            List.find_opt (fun s -> s.Nyx_baselines.Fuzzers.name = fuzzer)
+              Nyx_baselines.Fuzzers.all
+          with
+          | Some s -> Ok s
+          | None -> Error (`Msg (Printf.sprintf "unknown fuzzer %S" fuzzer))
+        in
+        Ok (Nyx_baselines.Fuzzers.run spec ~budget_ns ~max_execs ~seed entry)
+      end
+    in
+    match result with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok None ->
+      Format.printf "n/a: %s cannot run this target@." fuzzer;
+      `Ok ()
+    | Ok (Some r) ->
+      print_result r;
+      save_crashes crash_dir r;
+      `Ok ()
+  in
+  let doc = "Fuzz a target and report coverage and crashes." in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret
+        (const run $ target_arg $ fuzzer_arg $ policy_arg $ budget_arg $ max_execs_arg
+       $ seed_arg $ asan_arg $ seeds_arg $ crash_dir_arg))
+
+(* list command *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        let i = e.Nyx_targets.Registry.target.Nyx_targets.Target.info in
+        Format.printf "%-14s port %-5d %-4s %s@." i.Nyx_targets.Target.name
+          i.Nyx_targets.Target.port
+          (match i.Nyx_targets.Target.proto with
+          | Nyx_netemu.Net.Tcp -> "tcp"
+          | Nyx_netemu.Net.Udp -> "udp"
+          | Nyx_netemu.Net.Unix_sock -> "unix")
+          (if i.Nyx_targets.Target.desock_compat then "" else "(no desock)"))
+      (Nyx_targets.Registry.all ());
+    `Ok ()
+  in
+  let doc = "List available fuzz targets." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(ret (const run $ const ()))
+
+(* mario command *)
+
+let mario_cmd =
+  let level_arg =
+    let doc = "Level name, e.g. 1-1 … 8-4." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEVEL" ~doc)
+  in
+  let run level policy budget max_execs seed =
+    match Nyx_mario.Level.find level with
+    | None -> `Error (false, Printf.sprintf "unknown level %S (1-1 … 8-4)" level)
+    | Some lvl -> (
+      match Nyx_core.Policy.of_name policy with
+      | Error m -> `Error (false, m)
+      | Ok policy ->
+        let entry =
+          {
+            Nyx_targets.Registry.target = Nyx_mario.Mario_target.target lvl;
+            seeds = Nyx_mario.Mario_target.seeds lvl;
+          }
+        in
+        let cfg =
+          {
+            Nyx_core.Campaign.default_config with
+            Nyx_core.Campaign.policy;
+            budget_ns = int_of_float (budget *. 1e9);
+            max_execs;
+            seed;
+            stop_on_solve = true;
+          }
+        in
+        let r = Nyx_core.Campaign.run cfg entry in
+        print_result r;
+        `Ok ())
+  in
+  let doc = "Fuzz a Super Mario level until it is solved (§5.3)." in
+  let budget =
+    Arg.(value & opt float 7200.0 & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc:"Virtual budget.")
+  in
+  Cmd.v
+    (Cmd.info "mario" ~doc)
+    Term.(ret (const run $ level_arg $ policy_arg $ budget $ max_execs_arg $ seed_arg))
+
+(* record command: write a target's canned traffic as a capture file *)
+
+let record_cmd =
+  let out_arg =
+    let doc = "Output capture path." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run target out =
+    match lookup_target target with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok entry ->
+      Nyx_pcap.Capture.save (Nyx_targets.Registry.seed_capture entry) out;
+      Format.printf "wrote %s@." out;
+      `Ok ()
+  in
+  let doc = "Dump a target's canned seed traffic as a capture file." in
+  Cmd.v (Cmd.info "record" ~doc) Term.(ret (const run $ target_arg $ out_arg))
+
+(* replay command: run a serialized reproducer against a target *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      Bytes.of_string (really_input_string ic (in_channel_length ic)))
+
+let replay_cmd =
+  let input_arg =
+    let doc = "Serialized reproducer program (as written by fuzz --save-crashes)." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"INPUT" ~doc)
+  in
+  let minimize_arg =
+    let doc = "Minimize the reproducer before reporting (afl-tmin style)." in
+    Arg.(value & flag & info [ "m"; "minimize" ] ~doc)
+  in
+  let run target input minimize =
+    match lookup_target target with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok entry -> (
+      let ns = Nyx_core.Campaign.net_spec () in
+      match Nyx_spec.Program.parse ns.Nyx_spec.Net_spec.spec (read_file input) with
+      | Error m -> `Error (false, "cannot parse reproducer: " ^ m)
+      | Ok program -> (
+        let exec = Nyx_core.Executor.create ~net_spec:ns entry.Nyx_targets.Registry.target in
+        let r = Nyx_core.Executor.run_full exec program in
+        (match r.Nyx_core.Report.status with
+        | Nyx_core.Report.Pass -> Format.printf "result: pass (no crash)@."
+        | Nyx_core.Report.Hang -> Format.printf "result: hang@."
+        | Nyx_core.Report.Crash { kind; detail } ->
+          Format.printf "result: crash %s (%s)@." kind detail);
+        match (minimize, r.Nyx_core.Report.status) with
+        | true, Nyx_core.Report.Crash { kind; _ } ->
+          let minimized, execs =
+            Nyx_core.Minimizer.minimize
+              ~run:(Nyx_core.Executor.run_full exec)
+              ~keep:(Nyx_core.Minimizer.keep_crash_kind kind)
+              program
+          in
+          Format.printf "minimized from %d to %d bytes in %d executions:@.%a@."
+            (Nyx_core.Minimizer.serialized_size program)
+            (Nyx_core.Minimizer.serialized_size minimized)
+            execs Nyx_spec.Program.pp minimized;
+          `Ok ()
+        | true, _ -> `Error (false, "nothing to minimize: the input does not crash")
+        | false, _ ->
+          Format.printf "%a@." Nyx_spec.Program.pp program;
+          `Ok ()))
+  in
+  let doc = "Replay (and optionally minimize) a serialized reproducer." in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ target_arg $ input_arg $ minimize_arg))
+
+let main =
+  let doc = "Nyx-Net: network fuzzing with incremental snapshots (OCaml reproduction)" in
+  Cmd.group
+    (Cmd.info "nyx-net-fuzz" ~doc)
+    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,63 @@
+(* The §5.4 workflow end to end, against the proftpd analogue:
+
+   1. obtain the target,
+   2. use the generic raw-packet specification,
+   3. obtain seed inputs as a network capture and import it,
+   4. (the share-folder bundling step is implicit here),
+   5. run the fuzzer — and compare policies while we are at it.
+
+   Run with: dune exec examples/fuzz_ftp.exe *)
+
+let budget_ns = 60_000_000_000 (* one virtual minute *)
+
+let () =
+  let entry = Option.get (Nyx_targets.Registry.find "proftpd") in
+
+  (* Step 3: a capture of FTP traffic. Normally this comes from Wireshark;
+     here we record the canned session and round-trip it through the
+     capture container to exercise the same import path. *)
+  let capture = Nyx_targets.Registry.seed_capture entry in
+  let path = Filename.temp_file "proftpd" ".npcap" in
+  Nyx_pcap.Capture.save capture path;
+  Format.printf "Recorded %d packets of seed traffic to %s@."
+    (List.length capture.Nyx_pcap.Capture.records)
+    path;
+  let capture = Result.get_ok (Nyx_pcap.Capture.load path) in
+  let spec = Nyx_core.Campaign.net_spec () in
+  let seed =
+    Nyx_pcap.Importer.to_seed spec
+      entry.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.dissector
+      capture
+  in
+  Format.printf "Imported seed program (%d ops):@.%a@."
+    (Array.length seed.Nyx_spec.Program.ops)
+    Nyx_spec.Program.pp seed;
+
+  (* Step 5: run all three snapshot policies on the same budget. *)
+  List.iter
+    (fun policy ->
+      let config =
+        {
+          Nyx_core.Campaign.default_config with
+          Nyx_core.Campaign.policy;
+          budget_ns;
+          max_execs = 100_000;
+        }
+      in
+      let r = Nyx_core.Campaign.run ~seeds:[ seed ] config entry in
+      Format.printf "@.%a@." Nyx_core.Report.pp_summary r;
+      List.iter
+        (fun c ->
+          Format.printf "  %s at %a: %s@." c.Nyx_core.Report.kind Nyx_sim.Clock.pp_duration
+            c.Nyx_core.Report.found_ns c.Nyx_core.Report.detail)
+        r.Nyx_core.Report.crashes)
+    [ Nyx_core.Policy.None_; Nyx_core.Policy.Balanced; Nyx_core.Policy.Aggressive ];
+
+  (* And the AFLNet baseline on the same seeds, for contrast. *)
+  (match
+     Nyx_baselines.Fuzzers.run Nyx_baselines.Fuzzers.aflnet ~budget_ns ~max_execs:100_000
+       ~seed:1 entry
+   with
+  | Some r -> Format.printf "@.%a@." Nyx_core.Report.pp_summary r
+  | None -> ());
+  Sys.remove path

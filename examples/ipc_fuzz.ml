@@ -1,0 +1,66 @@
+(* Fuzzing the Firefox-IPC analogue (§5.6): a multi-connection,
+   actor-based message broker over Unix-domain sockets.
+
+   This example also shows writing a custom multi-connection seed with the
+   builder API (the Listing 1 / Listing 2 shape) instead of importing a
+   capture: two simultaneous connections exchanging actor messages.
+
+   Run with: dune exec examples/ipc_fuzz.exe *)
+
+let () =
+  let entry = Option.get (Nyx_targets.Registry.find "firefox-ipc") in
+  let spec = Nyx_core.Campaign.net_spec () in
+
+  (* A hand-written seed: two connections, interleaved actor traffic —
+     the pattern desock-style emulation fundamentally cannot express. *)
+  let b = Nyx_spec.Builder.create spec.Nyx_spec.Net_spec.spec in
+  let msg = Nyx_targets.Ipc.make_msg in
+  let con1 = List.hd (Nyx_spec.Builder.call b "connect" []) in
+  let con2 = List.hd (Nyx_spec.Builder.call b "connect" []) in
+  let send con payload = ignore (Nyx_spec.Builder.call b "packet" ~data:[ payload ] [ con ]) in
+  send con1 (msg ~actor:1 ~msg_type:1 Bytes.empty) (* create actor 1 *);
+  send con2 (msg ~actor:2 ~msg_type:1 Bytes.empty) (* create actor 2 *);
+  send con1 (msg ~actor:1 ~msg_type:4 (Bytes.of_string "\x00\x02")) (* share handle *);
+  send con2 (msg ~actor:1 ~msg_type:3 (Bytes.of_string "cross-connection message"));
+  send con1 (msg ~actor:2 ~msg_type:5 Bytes.empty) (* ping *);
+  send con2 (msg ~actor:2 ~msg_type:2 Bytes.empty) (* destroy actor 2 *);
+  let seed = Nyx_spec.Builder.build b in
+  Format.printf "Hand-built multi-connection seed:@.%a@." Nyx_spec.Program.pp seed;
+
+  (* Fuzz it. Firefox IPC messages are long sequences, so incremental
+     snapshots pay off; asan is on, as Mozilla's fuzzing builds are. *)
+  let config =
+    {
+      Nyx_core.Campaign.default_config with
+      Nyx_core.Campaign.policy = Nyx_core.Policy.Aggressive;
+      budget_ns = 120_000_000_000;
+      max_execs = 60_000;
+      asan = true;
+    }
+  in
+  let r = Nyx_core.Campaign.run ~seeds:[ seed ] config entry in
+  Format.printf "@.%a@." Nyx_core.Report.pp_summary r;
+  List.iter
+    (fun c ->
+      Format.printf "  %-16s %a  %s@." c.Nyx_core.Report.kind Nyx_sim.Clock.pp_duration
+        c.Nyx_core.Report.found_ns c.Nyx_core.Report.detail)
+    r.Nyx_core.Report.crashes;
+  if Nyx_core.Report.found_kind r "use-after-free" then
+    Format.printf
+      "@.The use-after-free needs create -> destroy -> message on one actor@.\
+       across a multi-message session: snapshot fuzzing territory.@.";
+
+  (* Phase two: the same campaign through the typed IPC spec — every
+     generated input is a well-formed actor session (§2.2's approach). *)
+  let ts = Nyx_targets.Ipc_spec.create () in
+  let r2 =
+    Nyx_core.Campaign.run
+      ~seeds:[ Nyx_targets.Ipc_spec.seed ts ]
+      ~custom:(Nyx_targets.Ipc_spec.handler ts) config entry
+  in
+  Format.printf "@.Typed-spec campaign on the same budget:@.%a@."
+    Nyx_core.Report.pp_summary r2;
+  Format.printf
+    "Note the trade-off: the typed spec reaches the stateful bug just as@.\
+     fast, but finds less total coverage — well-formed inputs never touch@.\
+     the broker's parser-error paths.@."

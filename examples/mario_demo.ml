@@ -1,0 +1,76 @@
+(* The Super Mario experiment (§5.3 / Figure 2): fuzz level 1-1 with
+   incremental snapshots until the fuzzer finds an input that reaches the
+   flag, then replay the winning input and render its trajectory.
+
+   Run with: dune exec examples/mario_demo.exe *)
+
+let packets_of_program (p : Nyx_spec.Program.t) =
+  Array.to_list p.Nyx_spec.Program.ops
+  |> List.filter_map (fun (op : Nyx_spec.Program.op) ->
+         if Array.length op.Nyx_spec.Program.data > 0 then
+           Some op.Nyx_spec.Program.data.(0)
+         else None)
+
+(* Replay an input frame by frame, recording the trajectory. *)
+let replay level program =
+  let clock = Nyx_sim.Clock.create () in
+  let vm = Nyx_vm.Vm.create clock in
+  let net = Nyx_netemu.Net.create clock in
+  let ctx = Nyx_targets.Ctx.of_vm ~net vm in
+  let game = Nyx_mario.Game.boot ctx level in
+  let path = ref [] in
+  (try
+     List.iter
+       (fun packet ->
+         Bytes.iter
+           (fun c ->
+             let b = Nyx_mario.Game.buttons_of_byte (Char.code c) in
+             for _ = 1 to Nyx_mario.Game.frames_per_byte do
+               Nyx_mario.Game.step game b;
+               path := (Nyx_mario.Game.x_px game, Nyx_mario.Game.y_px game) :: !path
+             done)
+           packet)
+       (packets_of_program program)
+   with Nyx_mario.Game.Level_solved _ -> ());
+  List.rev !path
+
+let () =
+  let level = Option.get (Nyx_mario.Level.find "1-1") in
+  Format.printf "Level 1-1 (%d columns, flag at column %d):@.%s@." level.Nyx_mario.Level.width
+    level.Nyx_mario.Level.flag_col
+    (Nyx_mario.Level.render level);
+  let entry =
+    {
+      Nyx_targets.Registry.target = Nyx_mario.Mario_target.target level;
+      seeds = Nyx_mario.Mario_target.seeds level;
+    }
+  in
+  Format.printf "Fuzzing with the aggressive snapshot policy until solved...@.";
+  let config =
+    {
+      Nyx_core.Campaign.default_config with
+      Nyx_core.Campaign.policy = Nyx_core.Policy.Aggressive;
+      budget_ns = 3_600_000_000_000 (* one virtual hour *);
+      max_execs = 200_000;
+      stop_on_solve = true;
+    }
+  in
+  let r = Nyx_core.Campaign.run config entry in
+  match
+    List.find_opt (fun c -> c.Nyx_core.Report.kind = "level-solved") r.Nyx_core.Report.crashes
+  with
+  | None ->
+    Format.printf "Not solved within the budget (%d execs) — try another seed.@."
+      r.Nyx_core.Report.execs
+  | Some win ->
+    Format.printf "Solved after %d executions, %a of virtual time!@."
+      win.Nyx_core.Report.found_exec Nyx_sim.Clock.pp_duration win.Nyx_core.Report.found_ns;
+    let spec = Nyx_core.Campaign.net_spec () in
+    (match Nyx_spec.Program.parse spec.Nyx_spec.Net_spec.spec win.Nyx_core.Report.input with
+    | Error m -> Format.printf "reproducer parse error: %s@." m
+    | Ok program ->
+      let path = replay level program in
+      Format.printf "@.The winning run (Figure 2-style visualization):@.%s@."
+        (Nyx_mario.Level.render ~path level);
+      Format.printf "Trajectory of %d frames across %d input packets.@." (List.length path)
+        (List.length (packets_of_program program)))

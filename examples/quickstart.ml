@@ -1,0 +1,44 @@
+(* Quickstart: fuzz the built-in echo server for a few virtual seconds.
+
+   Demonstrates the minimal public API surface:
+   - pick a target from the registry,
+   - configure a campaign (policy, budget),
+   - run it and inspect coverage, throughput and crashes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let entry =
+    match Nyx_targets.Registry.find "echo" with
+    | Some e -> e
+    | None -> failwith "echo target missing"
+  in
+  Format.printf "Fuzzing %s with incremental snapshots (aggressive policy)...@."
+    entry.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name;
+  let config =
+    {
+      Nyx_core.Campaign.default_config with
+      Nyx_core.Campaign.policy = Nyx_core.Policy.Aggressive;
+      budget_ns = 20_000_000_000 (* 20 virtual seconds *);
+      max_execs = 60_000;
+    }
+  in
+  let result = Nyx_core.Campaign.run config entry in
+  Format.printf "@.%a@.@." Nyx_core.Report.pp_summary result;
+  (match result.Nyx_core.Report.crashes with
+  | [] -> Format.printf "No crashes this time — try a different --seed.@."
+  | crashes ->
+    List.iter
+      (fun c ->
+        Format.printf "Found a %s after %d executions (%a of virtual time):@.  %s@."
+          c.Nyx_core.Report.kind c.Nyx_core.Report.found_exec Nyx_sim.Clock.pp_duration
+          c.Nyx_core.Report.found_ns c.Nyx_core.Report.detail;
+        (* Reproducers are serialized bytecode programs. *)
+        let spec = Nyx_core.Campaign.net_spec () in
+        match Nyx_spec.Program.parse spec.Nyx_spec.Net_spec.spec c.Nyx_core.Report.input with
+        | Ok program ->
+          Format.printf "Reproducer:@.%a@." Nyx_spec.Program.pp program
+        | Error m -> Format.printf "(reproducer parse error: %s)@." m)
+      crashes);
+  Format.printf "Snapshot mechanics: the campaign above replayed common packet@.";
+  Format.printf "prefixes from incremental snapshots instead of re-executing them.@."

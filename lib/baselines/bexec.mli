@@ -1,0 +1,48 @@
+(** The baseline executor: restart-based fuzzing of the same targets.
+
+    Models how AFL-family fuzzers drive a network service (§2.1):
+
+    - the target runs in a plain process; each test case restarts it
+      (fork + target startup) and waits a fixed period for the server to
+      come up;
+    - traffic crosses the real network stack (per-connection handshakes,
+      per-packet kernel costs) unless desock-style emulation is on;
+    - AFLNet inserts a response-timeout wait after every packet and runs
+      a user-supplied cleanup script between test cases — which misses
+      the spool on the emulated disk, so filesystem-ish state leaks
+      between test cases (the dcmtk accumulation effect);
+    - desock mode ([`Desock]) feeds input through a single emulated
+      stdin-like stream without packet boundaries and pays a kill-timeout
+      per execution because servers never exit on their own.
+
+    Memory is reset per test case through the root-snapshot mechanism
+    (standing in for fork-based copy-on-write), but its cost is replaced
+    by the restart costs above. *)
+
+type mode =
+  | Aflnet  (** real sockets, per-packet response waits, cleanup script *)
+  | Aflnwe  (** like AFLNet but the input is one unstructured stream *)
+  | Desock  (** AFL++ + libpreeny: emulated single stream, kill timeout *)
+  | Fork_replay
+      (** plain fork-per-exec with emulated delivery — the IJON setup *)
+
+type t
+
+exception Incompatible of string
+(** Raised by {!create} when the target cannot run under this mode
+    (desock on a multi-connection/UDP-incompatible target — Table 2's
+    n/a cells). *)
+
+val create :
+  ?asan:bool ->
+  ?layout_cookie:int ->
+  mode:mode ->
+  Nyx_targets.Target.t ->
+  t
+
+val clock : t -> Nyx_sim.Clock.t
+val coverage : t -> Nyx_targets.Coverage.t
+val state_code : t -> int
+
+val run : t -> Nyx_spec.Program.t -> Nyx_core.Report.exec_result
+(** One test case: restart, replay the program, tear down. *)

@@ -1,0 +1,160 @@
+open Nyx_core
+
+type mutation = Packets | Blob
+
+type config = {
+  fuzzer : string;
+  mode : Bexec.mode;
+  mutation : mutation;
+  state_aware : bool;
+  budget_ns : int;
+  max_execs : int;
+  seed : int;
+  asan : bool;
+  stop_on_solve : bool;
+  sample_interval_ns : int;
+}
+
+let payloads_of_program (p : Nyx_spec.Program.t) =
+  Array.to_list p.Nyx_spec.Program.ops
+  |> List.filter_map (fun (op : Nyx_spec.Program.op) ->
+         if Array.length op.Nyx_spec.Program.data > 0 then
+           Some op.Nyx_spec.Program.data.(0)
+         else None)
+
+let blob_of_program net_spec p =
+  let blob = Bytes.concat Bytes.empty (payloads_of_program p) in
+  let max_len = net_spec.Nyx_spec.Net_spec.payload.Nyx_spec.Spec.max_len in
+  let blob = if Bytes.length blob > max_len then Bytes.sub blob 0 max_len else blob in
+  Nyx_spec.Net_spec.seed_of_packets net_spec [ blob ]
+
+let batch_size = 20
+
+let run ?seeds cfg entry =
+  let target = entry.Nyx_targets.Registry.target in
+  match
+    Bexec.create ~asan:cfg.asan
+      ~layout_cookie:(Nyx_sim.Rng.int (Nyx_sim.Rng.create cfg.seed) 1_000_000)
+      ~mode:cfg.mode target
+  with
+  | exception Bexec.Incompatible _ -> None
+  | exec ->
+    let net_spec = Campaign.net_spec () in
+    let rng = Nyx_sim.Rng.create (cfg.seed + 77) in
+    let mut_rng = Nyx_sim.Rng.split rng in
+    let corpus = Corpus.create () in
+    let cumulative = Nyx_targets.Coverage.Cumulative.create () in
+    let timeline = Nyx_sim.Stats.Timeline.create () in
+    let crashes = ref [] in
+    let solved_ns = ref None in
+    let execs = ref 0 in
+    let last_sample = ref 0 in
+    let stop = ref false in
+    let now () = Nyx_sim.Clock.now_ns (Bexec.clock exec) in
+    let over () = !stop || now () >= cfg.budget_ns || !execs >= cfg.max_execs in
+    let sample ?(force = false) () =
+      if force || now () - !last_sample >= cfg.sample_interval_ns then begin
+        last_sample := now ();
+        Nyx_sim.Stats.Timeline.record timeline (now ())
+          (float_of_int (Nyx_targets.Coverage.Cumulative.edge_count cumulative))
+      end
+    in
+    let triage (r : Report.exec_result) program =
+      incr execs;
+      let novel = Nyx_targets.Coverage.Cumulative.merge cumulative (Bexec.coverage exec) in
+      if novel then begin
+        ignore
+          (Corpus.add corpus ~program ~exec_ns:r.Report.exec_ns ~discovered_ns:(now ())
+             ~state_code:r.Report.state_code);
+        sample ~force:true ()
+      end
+      else sample ();
+      (match r.Report.status with
+      | Report.Pass | Report.Hang -> ()
+      | Report.Crash { kind; detail } ->
+        if not (List.exists (fun c -> c.Report.kind = kind) !crashes) then
+          crashes :=
+            {
+              Report.kind;
+              detail;
+              found_ns = now ();
+              found_exec = !execs;
+              input = Nyx_spec.Program.serialize program;
+            }
+            :: !crashes;
+        if kind = "level-solved" then begin
+          if !solved_ns = None then solved_ns := Some (now ());
+          if cfg.stop_on_solve then stop := true
+        end)
+    in
+    let raw_seeds =
+      match seeds with Some s -> s | None -> Campaign.make_seeds entry net_spec
+    in
+    let seed_programs =
+      match cfg.mutation with
+      | Packets -> raw_seeds
+      | Blob -> List.map (blob_of_program net_spec) raw_seeds
+    in
+    List.iter
+      (fun program ->
+        if not (over ()) then triage (Bexec.run exec program) program)
+      seed_programs;
+    if Corpus.size corpus = 0 then
+      ignore
+        (Corpus.add corpus
+           ~program:(Nyx_spec.Net_spec.seed_of_packets net_spec [])
+           ~exec_ns:0 ~discovered_ns:(now ()) ~state_code:0);
+    let dict =
+      Nyx_spec.Auto_dict.merge
+        (List.map Bytes.of_string target.Nyx_targets.Target.info.Nyx_targets.Target.dict)
+        (Nyx_spec.Auto_dict.extract raw_seeds)
+    in
+    let max_ops =
+      List.fold_left
+        (fun acc p -> max acc (2 * Array.length p.Nyx_spec.Program.ops))
+        24 seed_programs
+    in
+    let mutate corpus_progs program =
+      match cfg.mutation with
+      | Packets ->
+        Nyx_spec.Mutator.mutate mut_rng ~max_ops ~dict ~corpus:corpus_progs program
+      | Blob ->
+        let blob = Bytes.concat Bytes.empty (payloads_of_program program) in
+        let max_len = net_spec.Nyx_spec.Net_spec.payload.Nyx_spec.Spec.max_len in
+        let mutated = Nyx_spec.Havoc.mutate mut_rng ~dict ~max_len blob in
+        Nyx_spec.Net_spec.seed_of_packets net_spec [ mutated ]
+    in
+    while not (over ()) do
+      let entry_sched =
+        if cfg.state_aware then Corpus.schedule_state_aware corpus rng
+        else Corpus.schedule corpus rng
+      in
+      let corpus_progs =
+        Array.of_list (List.map (fun e -> e.Corpus.program) (Corpus.entries corpus))
+      in
+      let i = ref 0 in
+      while !i < batch_size && not (over ()) do
+        incr i;
+        let mutated = mutate corpus_progs entry_sched.Corpus.program in
+        triage (Bexec.run exec mutated) mutated
+      done
+    done;
+    sample ~force:true ();
+    let virtual_ns = now () in
+    Some
+      {
+        Report.fuzzer = cfg.fuzzer;
+        target = target.Nyx_targets.Target.info.Nyx_targets.Target.name;
+        run_seed = cfg.seed;
+        timeline;
+        final_edges = Nyx_targets.Coverage.Cumulative.edge_count cumulative;
+        execs = !execs;
+        virtual_ns;
+        execs_per_sec =
+          (if virtual_ns = 0 then 0.0
+           else float_of_int !execs /. (float_of_int virtual_ns /. 1e9));
+        crashes = List.rev !crashes;
+        corpus_size = Corpus.size corpus;
+        solved_ns = !solved_ns;
+        snapshot_stats = None;
+      }

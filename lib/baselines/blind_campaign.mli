@@ -1,0 +1,34 @@
+(** Campaign loop for the restart-based baseline fuzzers.
+
+    Same triage as the Nyx-Net campaign (coverage-novelty corpus growth,
+    crash dedup, virtual-time timelines) but every test case is a full
+    restart-and-replay through {!Bexec}; there are no snapshots. *)
+
+type mutation = Packets | Blob
+(** [Packets]: AFLNet-style region-aware mutation of the opcode program.
+    [Blob]: AFLNwe/AFL++-style havoc of the concatenated byte stream,
+    replayed as one unstructured send. *)
+
+type config = {
+  fuzzer : string;
+  mode : Bexec.mode;
+  mutation : mutation;
+  state_aware : bool;  (** AFLNet's state-feedback scheduling *)
+  budget_ns : int;
+  max_execs : int;
+  seed : int;
+  asan : bool;
+  stop_on_solve : bool;
+  sample_interval_ns : int;
+}
+
+val run :
+  ?seeds:Nyx_spec.Program.t list ->
+  config ->
+  Nyx_targets.Registry.entry ->
+  Nyx_core.Report.campaign_result option
+(** [None] when the target is incompatible with the mode (Table 2's
+    n/a cells). *)
+
+val blob_of_program : Nyx_spec.Net_spec.t -> Nyx_spec.Program.t -> Nyx_spec.Program.t
+(** Flatten to a single connect + one concatenated payload. *)

@@ -1,0 +1,50 @@
+type spec = {
+  name : string;
+  config : budget_ns:int -> max_execs:int -> seed:int -> Blind_campaign.config;
+}
+
+let base name mode mutation state_aware =
+  {
+    name;
+    config =
+      (fun ~budget_ns ~max_execs ~seed ->
+        {
+          Blind_campaign.fuzzer = name;
+          mode;
+          mutation;
+          state_aware;
+          budget_ns;
+          max_execs;
+          seed;
+          asan = false;
+          stop_on_solve = false;
+          sample_interval_ns = 250_000_000;
+        });
+  }
+
+let aflnet = base "aflnet" Bexec.Aflnet Blind_campaign.Packets true
+let aflnet_no_state = base "aflnet-no-state" Bexec.Aflnet Blind_campaign.Packets false
+let aflnwe = base "aflnwe" Bexec.Aflnwe Blind_campaign.Blob false
+let aflpp_preeny = base "afl++" Bexec.Desock Blind_campaign.Blob false
+
+let all = [ aflnet; aflnet_no_state; aflnwe; aflpp_preeny ]
+
+let run spec ~budget_ns ~max_execs ~seed entry =
+  Blind_campaign.run (spec.config ~budget_ns ~max_execs ~seed) entry
+
+let ijon ~budget_ns ~max_execs ~seed entry =
+  let cfg =
+    {
+      Blind_campaign.fuzzer = "ijon";
+      mode = Bexec.Fork_replay;
+      mutation = Blind_campaign.Packets;
+      state_aware = false;
+      budget_ns;
+      max_execs;
+      seed;
+      asan = false;
+      stop_on_solve = true;
+      sample_interval_ns = 1_000_000_000;
+    }
+  in
+  Blind_campaign.run cfg entry

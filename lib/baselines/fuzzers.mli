@@ -1,0 +1,35 @@
+(** Pre-configured baseline fuzzers (the comparison columns of
+    Tables 1–3). *)
+
+type spec = {
+  name : string;
+  config :
+    budget_ns:int -> max_execs:int -> seed:int -> Blind_campaign.config;
+}
+
+val aflnet : spec
+val aflnet_no_state : spec
+val aflnwe : spec
+val aflpp_preeny : spec
+
+val all : spec list
+(** In the paper's column order: AFLNet, AFLNet-no-state, AFLNwe,
+    AFL++. *)
+
+val run :
+  spec ->
+  budget_ns:int ->
+  max_execs:int ->
+  seed:int ->
+  Nyx_targets.Registry.entry ->
+  Nyx_core.Report.campaign_result option
+
+val ijon :
+  budget_ns:int ->
+  max_execs:int ->
+  seed:int ->
+  Nyx_targets.Registry.entry ->
+  Nyx_core.Report.campaign_result option
+(** The IJON configuration for the Mario experiment: fork-per-exec replay
+    from the level start with position feedback, stopping at the first
+    solve. *)

@@ -1,0 +1,251 @@
+open Nyx_targets
+
+type config = {
+  policy : Policy.kind;
+  budget_ns : int;
+  max_execs : int;
+  seed : int;
+  asan : bool;
+  stop_on_solve : bool;
+  trim : bool;
+  sample_interval_ns : int;
+}
+
+let default_config =
+  {
+    policy = Policy.Aggressive;
+    budget_ns = 30_000_000_000;
+    max_execs = 200_000;
+    seed = 1;
+    asan = false;
+    stop_on_solve = false;
+    trim = false;
+    sample_interval_ns = 250_000_000;
+  }
+
+let net_spec () = Nyx_spec.Net_spec.create ()
+
+let make_seeds entry spec = Registry.seed_programs entry spec
+
+(* Campaign-internal mutable state threaded through triage. *)
+type state = {
+  cfg : config;
+  exec : Executor.t;
+  corpus : Corpus.t;
+  cumulative : Coverage.Cumulative.t;
+  timeline : Nyx_sim.Stats.Timeline.t;
+  rng : Nyx_sim.Rng.t;
+  mutable execs : int;
+  mutable crashes : Report.crash_report list;
+  mutable solved_ns : int option;
+  mutable last_sample : int;
+  mutable stop : bool;
+}
+
+let now st = Nyx_sim.Clock.now_ns (Executor.clock st.exec)
+
+let over_budget st =
+  st.stop
+  || now st >= st.cfg.budget_ns
+  || st.execs >= st.cfg.max_execs
+
+let sample ?(force = false) st =
+  let t = now st in
+  if force || t - st.last_sample >= st.cfg.sample_interval_ns then begin
+    st.last_sample <- t;
+    Nyx_sim.Stats.Timeline.record st.timeline t
+      (float_of_int (Coverage.Cumulative.edge_count st.cumulative))
+  end
+
+(* AFL-style trim: binary-search the shortest op prefix whose execution
+   produces the identical coverage map, so stored entries carry no dead
+   tail (trailing packets the target never consumed). *)
+let trim_program st program =
+  let full_map = Coverage.save (Executor.coverage st.exec) in
+  let same_cov_at len =
+    let candidate =
+      { program with
+        Nyx_spec.Program.ops = Array.sub program.Nyx_spec.Program.ops 0 len }
+    in
+    match Nyx_spec.Program.validate candidate with
+    | Error _ -> None
+    | Ok () ->
+      st.execs <- st.execs + 1;
+      ignore (Executor.run_full st.exec candidate);
+      if Coverage.save (Executor.coverage st.exec) = full_map then Some candidate
+      else None
+  in
+  let n = Array.length program.Nyx_spec.Program.ops in
+  let rec search lo hi best =
+    (* Invariant: prefixes of length > hi are untested; length hi works
+       when [best] says so; lo never works. *)
+    if hi - lo <= 1 then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      match same_cov_at mid with
+      | Some candidate -> search lo mid candidate
+      | None -> search mid hi best
+    end
+  in
+  if n <= 2 || over_budget st then program else search 1 n program
+
+(* Record one executed test case: merge coverage, grow the corpus, log
+   crashes. [stored] is the program to keep if the run found novelty. *)
+let triage st (result : Report.exec_result) stored =
+  st.execs <- st.execs + 1;
+  let novel = Coverage.Cumulative.merge st.cumulative (Executor.coverage st.exec) in
+  if novel then begin
+    let program = Nyx_spec.Program.strip_snapshots stored in
+    let program = if st.cfg.trim then trim_program st program else program in
+    ignore
+      (Corpus.add st.corpus ~program ~exec_ns:result.Report.exec_ns
+         ~discovered_ns:(now st) ~state_code:result.Report.state_code);
+    sample ~force:true st
+  end
+  else sample st;
+  (match result.Report.status with
+  | Report.Pass | Report.Hang -> ()
+  | Report.Crash { kind; detail } ->
+    if not (List.exists (fun c -> c.Report.kind = kind) st.crashes) then
+      st.crashes <-
+        {
+          Report.kind;
+          detail;
+          found_ns = now st;
+          found_exec = st.execs;
+          input = Nyx_spec.Program.serialize stored;
+        }
+        :: st.crashes;
+    if kind = "level-solved" then begin
+      if st.solved_ns = None then st.solved_ns <- Some (now st);
+      if st.cfg.stop_on_solve then st.stop <- true
+    end);
+  novel
+
+let run ?seeds ?custom cfg entry =
+  let spec = net_spec () in
+  let rng = Nyx_sim.Rng.create cfg.seed in
+  let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
+  let exec =
+    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ~net_spec:spec
+      entry.Registry.target
+  in
+  let st =
+    {
+      cfg;
+      exec;
+      corpus = Corpus.create ();
+      cumulative = Coverage.Cumulative.create ();
+      timeline = Nyx_sim.Stats.Timeline.create ();
+      rng;
+      execs = 0;
+      crashes = [];
+      solved_ns = None;
+      last_sample = 0;
+      stop = false;
+    }
+  in
+  let policy = Policy.create cfg.policy (Nyx_sim.Rng.split rng) in
+  let mut_rng = Nyx_sim.Rng.split rng in
+  (* Seed the corpus. *)
+  let seed_programs =
+    match seeds with Some s -> s | None -> make_seeds entry spec
+  in
+  (* Dictionary: the target's shipped tokens plus AFL-style auto-extraction
+     from the seeds. *)
+  let dict =
+    Nyx_spec.Auto_dict.merge
+      (List.map Bytes.of_string entry.Registry.target.Target.info.Target.dict)
+      (Nyx_spec.Auto_dict.extract seed_programs)
+  in
+  (* The input-length cap scales with the seeds: protocols with long
+     message sequences (Mario levels, IPC sessions) need room beyond the
+     default. *)
+  let max_ops =
+    List.fold_left
+      (fun acc p -> max acc (2 * Array.length p.Nyx_spec.Program.ops))
+      24 seed_programs
+  in
+  List.iter
+    (fun program ->
+      if not (over_budget st) then begin
+        let r = Executor.run_full exec program in
+        ignore (triage st r program)
+      end)
+    seed_programs;
+  (* Ensure the corpus is never empty: an empty one-connection program. *)
+  if Corpus.size st.corpus = 0 then
+    ignore
+      (Corpus.add st.corpus
+         ~program:(Nyx_spec.Net_spec.seed_of_packets spec [])
+         ~exec_ns:0 ~discovered_ns:(now st) ~state_code:0);
+  let corpus_array () =
+    Array.of_list (List.map (fun e -> e.Corpus.program) (Corpus.entries st.corpus))
+  in
+  while not (over_budget st) do
+    let entry_sched = Corpus.schedule st.corpus st.rng in
+    let packets = entry_sched.Corpus.packets in
+    let corpus_progs = corpus_array () in
+    match Policy.decide policy ~input_id:entry_sched.Corpus.id ~packets with
+    | `Root ->
+      let i = ref 0 in
+      while !i < Policy.reuse_count && not (over_budget st) do
+        incr i;
+        let mutated =
+          Nyx_spec.Mutator.mutate mut_rng ~max_ops ~dict ~corpus:corpus_progs
+            entry_sched.Corpus.program
+        in
+        let r = Executor.run_full exec mutated in
+        ignore (triage st r mutated)
+      done
+    | `At idx -> (
+      let with_snap = Nyx_spec.Program.with_snapshot_at entry_sched.Corpus.program idx in
+      match Executor.start_session exec with_snap with
+      | Error r ->
+        (* The prefix itself crashed or failed: still a test case. *)
+        ignore (triage st r with_snap)
+      | Ok session ->
+        let frozen = Executor.suffix_start session in
+        let news = ref false in
+        let i = ref 0 in
+        while !i < Policy.reuse_count && not (over_budget st) do
+          incr i;
+          let mutated =
+            Nyx_spec.Mutator.mutate mut_rng ~max_ops:(max_ops + 1 (* snapshot op *)) ~dict
+              ~frozen ~corpus:corpus_progs with_snap
+          in
+          let r = Executor.run_suffix exec session mutated in
+          if triage st r mutated then news := true
+        done;
+        Executor.end_session exec session;
+        if not !news then Policy.notify_no_news policy ~input_id:entry_sched.Corpus.id)
+  done;
+  sample ~force:true st;
+  let virtual_ns = now st in
+  {
+    Report.fuzzer = Policy.name cfg.policy;
+    target = entry.Registry.target.Target.info.Target.name;
+    run_seed = cfg.seed;
+    timeline = st.timeline;
+    final_edges = Coverage.Cumulative.edge_count st.cumulative;
+    execs = st.execs;
+    virtual_ns;
+    execs_per_sec =
+      (if virtual_ns = 0 then 0.0
+       else float_of_int st.execs /. (float_of_int virtual_ns /. 1e9));
+    crashes = List.rev st.crashes;
+    corpus_size = Corpus.size st.corpus;
+    solved_ns = st.solved_ns;
+    snapshot_stats = Some (Executor.snapshot_stats exec);
+  }
+
+let median_result results =
+  match results with
+  | [] -> invalid_arg "Campaign.median_result: no results"
+  | _ ->
+    let sorted =
+      List.sort
+        (fun a b -> compare a.Report.final_edges b.Report.final_edges)
+        results
+    in
+    List.nth sorted (List.length sorted / 2)

@@ -1,0 +1,47 @@
+(** The Nyx-Net fuzzing campaign (the main loop of the system).
+
+    Seeds the corpus from the target's canned traffic via the PCAP import
+    pipeline, then repeatedly schedules an input, lets the snapshot
+    placement policy choose where to snapshot, and runs
+    {!Policy.reuse_count} mutated test cases against that snapshot before
+    moving on. Coverage novelty grows the corpus; crashes are
+    deduplicated by kind. All times are virtual. *)
+
+type config = {
+  policy : Policy.kind;
+  budget_ns : int;
+  max_execs : int;
+  seed : int;
+  asan : bool;
+  stop_on_solve : bool;
+  trim : bool;
+      (** AFL-style queue-entry trimming: new corpus entries are truncated
+          to the shortest prefix with identical coverage, so snapshot
+          placement concentrates on the live part of long inputs (decisive
+          on long message sequences such as deep Mario levels). Off by
+          default. *)
+  sample_interval_ns : int;
+}
+
+val default_config : config
+(** 30 virtual seconds, 200k execs max, seed 1, no ASan. *)
+
+val run :
+  ?seeds:Nyx_spec.Program.t list ->
+  ?custom:Op_handlers.custom_handler ->
+  config ->
+  Nyx_targets.Registry.entry ->
+  Report.campaign_result
+(** [seeds] overrides the registry entry's canned seed programs (they must
+    be built against a {!Nyx_spec.Net_spec.create} spec compatible with
+    the internal one: use [make_seeds]). *)
+
+val make_seeds :
+  Nyx_targets.Registry.entry -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list
+
+val net_spec : unit -> Nyx_spec.Net_spec.t
+(** The spec campaigns use (raw packets, Listing 1-style). *)
+
+val median_result : Report.campaign_result list -> Report.campaign_result
+(** The run with median final coverage (ties broken by earlier time) —
+    how multi-run cells of Table 2 are aggregated. *)

@@ -1,0 +1,55 @@
+type entry = {
+  id : int;
+  program : Nyx_spec.Program.t;
+  exec_ns : int;
+  packets : int;
+  discovered_ns : int;
+  state_code : int;
+}
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let size t = t.count
+
+let add t ~program ~exec_ns ~discovered_ns ~state_code =
+  let entry =
+    {
+      id = t.count;
+      program;
+      exec_ns;
+      packets = Nyx_spec.Program.packet_count program;
+      discovered_ns;
+      state_code;
+    }
+  in
+  t.rev_entries <- entry :: t.rev_entries;
+  t.count <- t.count + 1;
+  entry
+
+let nth_newest t i = List.nth t.rev_entries i
+
+let schedule t rng =
+  if t.count = 0 then invalid_arg "Corpus.schedule: empty corpus";
+  if Nyx_sim.Rng.bool rng then nth_newest t (Nyx_sim.Rng.int rng t.count)
+  else nth_newest t (Nyx_sim.Rng.int rng (max 1 (t.count / 4)))
+
+let schedule_state_aware t rng =
+  if t.count = 0 then invalid_arg "Corpus.schedule: empty corpus";
+  (* Weight inversely by how common each entry's protocol state is. *)
+  let freq = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace freq e.state_code
+        (1 + Option.value ~default:0 (Hashtbl.find_opt freq e.state_code)))
+    t.rev_entries;
+  let weighted =
+    List.map
+      (fun e ->
+        (e, 1.0 /. float_of_int (Option.value ~default:1 (Hashtbl.find_opt freq e.state_code))))
+      t.rev_entries
+  in
+  Nyx_sim.Rng.weighted rng weighted
+
+let entries t = t.rev_entries

@@ -1,0 +1,36 @@
+(** The fuzzing queue. *)
+
+type entry = {
+  id : int;
+  program : Nyx_spec.Program.t;
+  exec_ns : int;  (** cost of the discovering execution *)
+  packets : int;
+  discovered_ns : int;
+  state_code : int;
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add :
+  t ->
+  program:Nyx_spec.Program.t ->
+  exec_ns:int ->
+  discovered_ns:int ->
+  state_code:int ->
+  entry
+
+val schedule : t -> Nyx_sim.Rng.t -> entry
+(** Pick the next input: half the time uniformly, half the time biased to
+    the newest quarter of the queue (favoring fresh coverage finders, as
+    AFL-style queue culling does).
+    @raise Invalid_argument when empty. *)
+
+val schedule_state_aware : t -> Nyx_sim.Rng.t -> entry
+(** AFLNet-style: bias towards entries that reached rarely-seen protocol
+    states. *)
+
+val entries : t -> entry list
+(** Newest first. *)

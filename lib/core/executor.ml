@@ -1,0 +1,146 @@
+open Nyx_targets
+open Nyx_netemu
+
+type t = {
+  clock : Nyx_sim.Clock.t;
+  ctx : Ctx.t;
+  engine : Nyx_snapshot.Engine.t;
+  ops : Op_handlers.t;
+  target : Target.t;
+}
+
+let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
+    ?(vm_config = Nyx_vm.Vm.fuzz_config) ?custom ~net_spec:_ target =
+  let clock = Nyx_sim.Clock.create () in
+  let vm = Nyx_vm.Vm.create ~config:vm_config clock in
+  let net = Net.create ~backend:Net.Emulated ~boundaries clock in
+  let aux = Nyx_snapshot.Aux_state.create () in
+  Net.register_aux net aux;
+  let ctx = Ctx.of_vm ~asan ~layout_cookie ~net vm in
+  let runtime = Target.boot target ctx in
+  Target.pump runtime;
+  (* The agent detected the first read on the attack surface: take the
+     root snapshot here, exactly where Nyx-Net places it automatically. *)
+  let engine = Nyx_snapshot.Engine.create vm aux in
+  let ops =
+    Op_handlers.create ~net ~runtime ~target
+      ~on_snapshot:(fun () -> Nyx_snapshot.Engine.take_incremental engine)
+      ?custom ()
+  in
+  { clock; ctx; engine; ops; target }
+
+let clock t = t.clock
+let coverage t = t.ctx.Ctx.cov
+let state_code t = t.ctx.Ctx.state_code
+let snapshot_stats t = Nyx_snapshot.Engine.stats t.engine
+let target_name t = t.target.Target.info.Target.name
+let root_stored_bytes t = Nyx_snapshot.Engine.root_stored_bytes t.engine
+let mirror_bytes t = Nyx_snapshot.Engine.mirror_pages t.engine * Nyx_vm.Page.size
+
+let reset_exec_state t =
+  Coverage.reset t.ctx.Ctx.cov;
+  t.ctx.Ctx.state_code <- 0;
+  Op_handlers.reset t.ops
+
+let status_of_run f =
+  try
+    f ();
+    Report.Pass
+  with
+  | Ctx.Crash { kind = "hang"; detail = _ } -> Report.Hang
+  | Ctx.Crash { kind; detail } -> Report.Crash { kind; detail }
+  | Nyx_vm.Guest_heap.Heap_oob { base; off; len } ->
+    Report.Crash
+      {
+        kind = "asan-heap-oob";
+        detail = Printf.sprintf "region %d offset %d len %d" base off len;
+      }
+  | Nyx_vm.Memory.Fault { addr; size } ->
+    Report.Crash { kind = "segfault"; detail = Printf.sprintf "addr %d size %d" addr size }
+  | Nyx_vm.Guest_heap.Out_of_memory -> Report.Crash { kind = "oom"; detail = "guest heap" }
+  | Net.Would_block fd ->
+    Report.Crash
+      { kind = "protocol-desync"; detail = Printf.sprintf "blocking read on fd %d" fd }
+  | Net.Bad_fd fd -> Report.Crash { kind = "bad-fd"; detail = Printf.sprintf "fd %d" fd }
+
+let run_full t program =
+  let t0 = Nyx_sim.Clock.now_ns t.clock in
+  Nyx_snapshot.Engine.restore_root t.engine;
+  reset_exec_state t;
+  let status =
+    status_of_run (fun () ->
+        ignore (Nyx_spec.Interp.run program (Op_handlers.handlers t.ops)))
+  in
+  (* If the program took an incremental snapshot mid-run, drop it. *)
+  if Nyx_snapshot.Engine.has_incremental t.engine then
+    Nyx_snapshot.Engine.restore_root t.engine;
+  {
+    Report.status;
+    exec_ns = Nyx_sim.Clock.now_ns t.clock - t0;
+    state_code = t.ctx.Ctx.state_code;
+  }
+
+type session = {
+  s_from : int;
+  s_env : Nyx_spec.Interp.env;
+  s_cov : Coverage.checkpoint;
+  s_state_code : int;
+  s_tokens : (int * int) list * int * int option * int;
+}
+
+let start_session t program =
+  match Nyx_spec.Interp.snapshot_op_index program with
+  | None -> Error { Report.status = Report.Hang; exec_ns = 0; state_code = 0 }
+  | Some _ -> (
+    let t0 = Nyx_sim.Clock.now_ns t.clock in
+    Nyx_snapshot.Engine.restore_root t.engine;
+    reset_exec_state t;
+    let result = ref None in
+    let status =
+      status_of_run (fun () ->
+          match Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops) with
+          | Some (from, env) -> result := Some (from, env)
+          | None -> ())
+    in
+    match (status, !result) with
+    | Report.Pass, Some (from, env) ->
+      Ok
+        {
+          s_from = from;
+          s_env = env;
+          s_cov = Coverage.save t.ctx.Ctx.cov;
+          s_state_code = t.ctx.Ctx.state_code;
+          s_tokens = Op_handlers.save_tokens t.ops;
+        }
+    | status, _ ->
+      if Nyx_snapshot.Engine.has_incremental t.engine then
+        Nyx_snapshot.Engine.restore_root t.engine;
+      Error
+        {
+          Report.status;
+          exec_ns = Nyx_sim.Clock.now_ns t.clock - t0;
+          state_code = t.ctx.Ctx.state_code;
+        })
+
+let suffix_start s = s.s_from
+
+let run_suffix t session program =
+  let t0 = Nyx_sim.Clock.now_ns t.clock in
+  Nyx_snapshot.Engine.restore t.engine;
+  Coverage.restore t.ctx.Ctx.cov session.s_cov;
+  t.ctx.Ctx.state_code <- session.s_state_code;
+  Op_handlers.load_tokens t.ops session.s_tokens;
+  let env = Nyx_spec.Interp.copy_env session.s_env in
+  let status =
+    status_of_run (fun () ->
+        ignore
+          (Nyx_spec.Interp.run ~from:session.s_from ~env program
+             (Op_handlers.handlers t.ops)))
+  in
+  {
+    Report.status;
+    exec_ns = Nyx_sim.Clock.now_ns t.clock - t0;
+    state_code = t.ctx.Ctx.state_code;
+  }
+
+let end_session t _session = Nyx_snapshot.Engine.restore_root t.engine

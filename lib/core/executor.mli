@@ -1,0 +1,70 @@
+(** The Nyx-Net executor: one fuzzing VM instance.
+
+    Owns a simulated VM, the emulated network stack, a booted target and
+    the snapshot engine. Test cases are bytecode programs executed through
+    the interpreter; every injected packet is pumped through the target's
+    event loop, and the VM is reset to the active snapshot between
+    executions.
+
+    The session API implements §3.4: [start_session] executes the prefix
+    up to the snapshot opcode and takes the incremental snapshot;
+    [run_suffix] then executes mutated suffixes against it (restoring the
+    incremental snapshot and replaying the prefix's coverage and
+    interpreter environment each time); [end_session] discards the
+    snapshot and returns to the root. *)
+
+type t
+
+val create :
+  ?asan:bool ->
+  ?layout_cookie:int ->
+  ?boundaries:bool ->
+  ?vm_config:Nyx_vm.Vm.config ->
+  ?custom:Op_handlers.custom_handler ->
+  net_spec:Nyx_spec.Net_spec.t ->
+  Nyx_targets.Target.t ->
+  t
+(** Boots the target (charging its startup cost), pumps it to its accept
+    loop, and takes the root snapshot. *)
+
+val clock : t -> Nyx_sim.Clock.t
+val coverage : t -> Nyx_targets.Coverage.t
+(** The last execution's map. *)
+
+val state_code : t -> int
+val snapshot_stats : t -> Nyx_snapshot.Engine.stats
+val target_name : t -> string
+
+val root_stored_bytes : t -> int
+(** Bytes held by the immutable root image — shareable across instances
+    (§5.3 scalability). *)
+
+val mirror_bytes : t -> int
+(** Bytes held by this instance's private incremental mirror. *)
+
+val status_of_run : (unit -> unit) -> Report.status
+(** Run a thunk, mapping the crash exceptions every executor must handle
+    (target crashes, ASan violations, guest faults, protocol desyncs)
+    to a {!Report.status}. Shared with the baseline executors. *)
+
+val run_full : t -> Nyx_spec.Program.t -> Report.exec_result
+(** Reset to the root snapshot and execute the whole program (snapshot
+    opcodes, if any, take the incremental snapshot but the engine is
+    returned to root mode afterwards — use sessions to exploit them). *)
+
+type session
+
+val start_session : t -> Nyx_spec.Program.t -> (session, Report.exec_result) result
+(** The program must contain a snapshot opcode. [Error r] when the prefix
+    itself crashed or the program has no snapshot opcode. The prefix cost
+    is charged once, here. *)
+
+val suffix_start : session -> int
+(** Index of the first op after the snapshot opcode — the [frozen] prefix
+    length for the mutator. *)
+
+val run_suffix : t -> session -> Nyx_spec.Program.t -> Report.exec_result
+(** Execute a program sharing the session's frozen prefix: only ops from
+    {!suffix_start} run, against the incremental snapshot. *)
+
+val end_session : t -> session -> unit

@@ -1,0 +1,22 @@
+type outcome = {
+  instances : int;
+  first_solve_ns : int option;
+  solves : int;
+  total_execs : int;
+}
+
+let run ?(instances = 52) ~config entry =
+  let results =
+    List.init instances (fun i ->
+        Campaign.run { config with Campaign.seed = config.Campaign.seed + (1000 * i) } entry)
+  in
+  let solve_times = List.filter_map (fun r -> r.Report.solved_ns) results in
+  {
+    instances;
+    first_solve_ns =
+      (match solve_times with
+      | [] -> None
+      | ts -> Some (List.fold_left min max_int ts));
+    solves = List.length solve_times;
+    total_execs = List.fold_left (fun acc r -> acc + r.Report.execs) 0 results;
+  }

@@ -1,0 +1,28 @@
+(** Parallel fuzzing simulation (§5.3's 52-core experiments).
+
+    The paper parallelizes Nyx-Net across physical cores with shared root
+    snapshots; wall-clock time-to-result is then the minimum over the
+    instances (they share nothing but the read-only root, so they are
+    independent searches). We simulate a fleet by running [instances]
+    campaigns with distinct seeds and taking the earliest event time.
+
+    This is what makes some Mario levels solvable "faster than light":
+    with enough instances, the earliest solve arrives in less wall-clock
+    time than a flawless speedrun of the level takes to play once at 60
+    FPS. *)
+
+type outcome = {
+  instances : int;
+  first_solve_ns : int option;
+      (** earliest virtual solve time across the fleet *)
+  solves : int;  (** how many instances solved within their budget *)
+  total_execs : int;
+}
+
+val run :
+  ?instances:int ->
+  config:Campaign.config ->
+  Nyx_targets.Registry.entry ->
+  outcome
+(** [instances] defaults to 52, the paper's core count. Each instance
+    runs [config] with a distinct seed derived from [config.seed]. *)

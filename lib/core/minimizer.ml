@@ -1,0 +1,115 @@
+let serialized_size p = Bytes.length (Nyx_spec.Program.serialize p)
+
+let keep_crash_kind kind (r : Report.exec_result) =
+  match r.Report.status with
+  | Report.Crash { kind = k; _ } -> k = kind
+  | Report.Pass | Report.Hang -> false
+
+(* Remove the op range [start, start+len) and repair references. *)
+let drop_ops p start len =
+  let ops = p.Nyx_spec.Program.ops in
+  let kept =
+    Array.of_list
+      (List.filteri
+         (fun i _ -> i < start || i >= start + len)
+         (Array.to_list ops))
+  in
+  Nyx_spec.Program.repair { p with Nyx_spec.Program.ops = kept }
+
+let drop_payload_chunk p op_idx chunk_start chunk_len =
+  let ops = Array.copy p.Nyx_spec.Program.ops in
+  let op = ops.(op_idx) in
+  if Array.length op.Nyx_spec.Program.data = 0 then None
+  else begin
+    let payload = op.Nyx_spec.Program.data.(0) in
+    let len = Bytes.length payload in
+    if chunk_start >= len then None
+    else begin
+      let chunk_len = min chunk_len (len - chunk_start) in
+      let shrunk =
+        Bytes.cat
+          (Bytes.sub payload 0 chunk_start)
+          (Bytes.sub payload (chunk_start + chunk_len) (len - chunk_start - chunk_len))
+      in
+      let data = Array.copy op.Nyx_spec.Program.data in
+      data.(0) <- shrunk;
+      ops.(op_idx) <- { op with Nyx_spec.Program.data };
+      Some { p with Nyx_spec.Program.ops = ops }
+    end
+  end
+
+let canonicalize_byte p op_idx byte_idx =
+  let ops = Array.copy p.Nyx_spec.Program.ops in
+  let op = ops.(op_idx) in
+  if Array.length op.Nyx_spec.Program.data = 0 then None
+  else begin
+    let payload = op.Nyx_spec.Program.data.(0) in
+    if byte_idx >= Bytes.length payload then None
+    else if Bytes.get payload byte_idx = 'a' then None
+    else begin
+      let b = Bytes.copy payload in
+      Bytes.set b byte_idx 'a';
+      let data = Array.copy op.Nyx_spec.Program.data in
+      data.(0) <- b;
+      ops.(op_idx) <- { op with Nyx_spec.Program.data };
+      Some { p with Nyx_spec.Program.ops = ops }
+    end
+  end
+
+let minimize ~run ~keep program =
+  if not (keep (run program)) then
+    invalid_arg "Minimizer.minimize: program does not satisfy the predicate";
+  let execs = ref 1 in
+  let try_candidate current candidate =
+    if candidate.Nyx_spec.Program.ops = current.Nyx_spec.Program.ops then None
+    else begin
+      incr execs;
+      if keep (run candidate) then Some candidate else None
+    end
+  in
+  (* Phase 1: drop op ranges, halving chunk sizes. *)
+  let current = ref (Nyx_spec.Program.strip_snapshots program) in
+  let chunk = ref (max 1 (Array.length !current.Nyx_spec.Program.ops / 2)) in
+  while !chunk >= 1 do
+    let start = ref 0 in
+    while !start < Array.length !current.Nyx_spec.Program.ops do
+      (match try_candidate !current (drop_ops !current !start !chunk) with
+      | Some smaller -> current := smaller (* retry same offset *)
+      | None -> start := !start + !chunk)
+    done;
+    if !chunk = 1 then chunk := 0 else chunk := !chunk / 2
+  done;
+  (* Phase 2: shrink payloads, halving chunk sizes per op. *)
+  Array.iteri
+    (fun op_idx _ ->
+      let max_payload () =
+        let op = !current.Nyx_spec.Program.ops.(op_idx) in
+        if Array.length op.Nyx_spec.Program.data = 0 then 0
+        else Bytes.length op.Nyx_spec.Program.data.(0)
+      in
+      let chunk = ref (max 1 (max_payload () / 2)) in
+      while !chunk >= 1 do
+        let pos = ref 0 in
+        while !pos < max_payload () do
+          (match drop_payload_chunk !current op_idx !pos !chunk with
+          | None -> pos := max_payload ()
+          | Some candidate -> (
+            incr execs;
+            if keep (run candidate) then current := candidate else pos := !pos + !chunk))
+        done;
+        if !chunk = 1 then chunk := 0 else chunk := !chunk / 2
+      done)
+    !current.Nyx_spec.Program.ops;
+  (* Phase 3: canonicalize payload bytes to 'a' where the outcome allows. *)
+  Array.iteri
+    (fun op_idx op ->
+      if Array.length op.Nyx_spec.Program.data > 0 then
+        for byte_idx = 0 to Bytes.length op.Nyx_spec.Program.data.(0) - 1 do
+          match canonicalize_byte !current op_idx byte_idx with
+          | None -> ()
+          | Some candidate ->
+            incr execs;
+            if keep (run candidate) then current := candidate
+        done)
+    !current.Nyx_spec.Program.ops;
+  (!current, !execs)

@@ -1,0 +1,27 @@
+(** Crash reproducer minimization (the afl-tmin of the toolchain).
+
+    Given a program whose execution produces some outcome (typically a
+    crash of a particular kind), shrink it while preserving the outcome:
+
+    1. drop opcodes, binary-search style, largest chunks first;
+    2. shrink each packet payload by removing chunks;
+    3. canonicalize remaining payload bytes where possible.
+
+    Every candidate is verified by re-executing, so the result is always a
+    true reproducer. Minimization works on any predicate over execution
+    results, so it can also minimize coverage witnesses. *)
+
+val minimize :
+  run:(Nyx_spec.Program.t -> Report.exec_result) ->
+  keep:(Report.exec_result -> bool) ->
+  Nyx_spec.Program.t ->
+  Nyx_spec.Program.t * int
+(** [minimize ~run ~keep program] returns the smallest found program still
+    satisfying [keep], plus the number of verification executions spent.
+    @raise Invalid_argument if [program] itself does not satisfy [keep]. *)
+
+val keep_crash_kind : string -> Report.exec_result -> bool
+(** Predicate: the run crashed with this kind. *)
+
+val serialized_size : Nyx_spec.Program.t -> int
+(** Size of the wire form — the quantity being minimized. *)

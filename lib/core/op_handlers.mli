@@ -1,0 +1,41 @@
+(** Shared opcode dispatch: turns the raw-network spec's opcodes
+    (connect / packet / close / snapshot) into actions on an emulated
+    network stack and a booted target.
+
+    Used by the Nyx-Net executor and by the reimplemented baseline
+    fuzzers, which differ only in costs, reset strategy and hooks — not in
+    how opcodes drive the target. *)
+
+type t
+
+type custom_handler =
+  send:(bytes -> unit) -> Nyx_spec.Spec.node_ty -> int list -> bytes array -> int list option
+(** Hook for spec-specific opcodes (typed specs like the Firefox-IPC one):
+    receives a [send] that delivers one packet on the implicit connection
+    (opened lazily) and returns [Some outputs] when it handled the op. *)
+
+val create :
+  net:Nyx_netemu.Net.t ->
+  runtime:Nyx_targets.Target.runtime ->
+  target:Nyx_targets.Target.t ->
+  ?after_packet:(unit -> unit) ->
+  ?on_snapshot:(unit -> unit) ->
+  ?custom:custom_handler ->
+  unit ->
+  t
+(** [after_packet] runs after each delivered packet (baselines charge
+    their response-wait here). [on_snapshot] handles the snapshot opcode
+    (defaults to a no-op for fuzzers without incremental snapshots).
+    [custom] is consulted first for opcodes the raw-network dispatch does
+    not know. *)
+
+val handlers : t -> Nyx_spec.Interp.handlers
+
+val reset : t -> unit
+(** Clear per-execution bookkeeping (UDP flow tokens). *)
+
+val save_tokens : t -> (int * int) list * int * int option * int
+(** Snapshot the UDP token, implicit-connection and outbound-adoption
+    bookkeeping (for incremental-snapshot sessions). *)
+
+val load_tokens : t -> (int * int) list * int * int option * int -> unit

@@ -1,0 +1,54 @@
+type kind = None_ | Balanced | Aggressive
+
+type t = {
+  kind : kind;
+  rng : Nyx_sim.Rng.t;
+  cursor : (int, int) Hashtbl.t; (* aggressive: input id -> snapshot index *)
+}
+
+let name = function
+  | None_ -> "nyx-net-none"
+  | Balanced -> "nyx-net-balanced"
+  | Aggressive -> "nyx-net-aggressive"
+
+let of_name = function
+  | "none" | "nyx-net-none" -> Ok None_
+  | "balanced" | "nyx-net-balanced" -> Ok Balanced
+  | "aggressive" | "nyx-net-aggressive" -> Ok Aggressive
+  | s -> Error (Printf.sprintf "unknown policy %S (none|balanced|aggressive)" s)
+
+let reuse_count = 50
+
+let create kind rng = { kind; rng; cursor = Hashtbl.create 64 }
+
+let min_packets_for_snapshot = 5
+
+let decide t ~input_id ~packets =
+  if packets < min_packets_for_snapshot then `Root
+  else
+    match t.kind with
+    | None_ -> `Root
+    | Balanced ->
+      if Nyx_sim.Rng.chance t.rng 0.04 then `Root
+      else if Nyx_sim.Rng.bool t.rng then `At (Nyx_sim.Rng.int_in t.rng 1 (packets - 1))
+      else `At (Nyx_sim.Rng.int_in t.rng (packets / 2) (packets - 1))
+    | Aggressive ->
+      let idx =
+        match Hashtbl.find_opt t.cursor input_id with
+        | Some i when i >= 1 && i <= packets - 1 -> i
+        | _ ->
+          Hashtbl.replace t.cursor input_id (packets - 1);
+          packets - 1
+      in
+      `At idx
+
+let notify_no_news t ~input_id =
+  match t.kind with
+  | None_ | Balanced -> ()
+  | Aggressive -> (
+    match Hashtbl.find_opt t.cursor input_id with
+    | None -> ()
+    | Some i ->
+      (* One packet earlier; wrapping is handled lazily in [decide] when
+         the index falls below 1 (it resets to the end). *)
+      Hashtbl.replace t.cursor input_id (i - 1))

@@ -1,0 +1,36 @@
+(** Snapshot placement policies (§3.4).
+
+    Decides, each time an input is scheduled, whether and where to inject
+    the snapshot opcode:
+
+    - {b none}: always the root snapshot (the baseline configuration);
+    - {b balanced}: for inputs longer than four packets, 4% root,
+      otherwise a random index over the whole input (50%) or only its
+      second half (50%);
+    - {b aggressive}: cycles indices starting at the end of the input;
+      each time fuzzing a snapshot yields nothing new for a full reuse
+      round, the snapshot moves one packet earlier, wrapping around. *)
+
+type kind = None_ | Balanced | Aggressive
+
+type t
+
+val name : kind -> string
+(** ["nyx-net-none"], ["nyx-net-balanced"], ["nyx-net-aggressive"]. *)
+
+val of_name : string -> (kind, string) result
+
+val create : kind -> Nyx_sim.Rng.t -> t
+
+val reuse_count : int
+(** How many mutated test cases run against one incremental snapshot
+    before it is discarded (50 — §3.4's empirical constant). *)
+
+val decide : t -> input_id:int -> packets:int -> [ `Root | `At of int ]
+(** [`At i] places the snapshot after the first [i] packets
+    (0 < i < packets). Inputs of at most four packets always use the
+    root. *)
+
+val notify_no_news : t -> input_id:int -> unit
+(** Aggressive only: the last reuse round for this input found nothing —
+    move its snapshot index one packet earlier. *)

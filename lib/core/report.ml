@@ -1,0 +1,36 @@
+type status = Pass | Crash of { kind : string; detail : string } | Hang
+
+type exec_result = { status : status; exec_ns : int; state_code : int }
+
+type crash_report = {
+  kind : string;
+  detail : string;
+  found_ns : int;
+  found_exec : int;
+  input : bytes;
+}
+
+type campaign_result = {
+  fuzzer : string;
+  target : string;
+  run_seed : int;
+  timeline : Nyx_sim.Stats.Timeline.t;
+  final_edges : int;
+  execs : int;
+  virtual_ns : int;
+  execs_per_sec : float;
+  crashes : crash_report list;
+  corpus_size : int;
+  solved_ns : int option;
+  snapshot_stats : Nyx_snapshot.Engine.stats option;
+}
+
+let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes
+
+let found_kind r kind = List.exists (fun c -> c.kind = kind) r.crashes
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "%s on %s: %d edges, %d execs in %a virtual (%.1f execs/s), %d crash kinds, corpus %d"
+    r.fuzzer r.target r.final_edges r.execs Nyx_sim.Clock.pp_duration r.virtual_ns
+    r.execs_per_sec (List.length r.crashes) r.corpus_size

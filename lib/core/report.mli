@@ -1,0 +1,43 @@
+(** Result types shared by all fuzzers under evaluation. *)
+
+type status =
+  | Pass
+  | Crash of { kind : string; detail : string }
+  | Hang
+
+type exec_result = {
+  status : status;
+  exec_ns : int;  (** virtual time spent on this execution, reset included *)
+  state_code : int;  (** protocol state annotation after the run *)
+}
+
+type crash_report = {
+  kind : string;
+  detail : string;
+  found_ns : int;  (** virtual campaign time of first occurrence *)
+  found_exec : int;
+  input : bytes;  (** serialized reproducer program *)
+}
+
+type campaign_result = {
+  fuzzer : string;
+  target : string;
+  run_seed : int;
+  timeline : Nyx_sim.Stats.Timeline.t;  (** cumulative branch coverage over time *)
+  final_edges : int;
+  execs : int;
+  virtual_ns : int;
+  execs_per_sec : float;
+  crashes : crash_report list;  (** deduplicated by kind *)
+  corpus_size : int;
+  solved_ns : int option;  (** Mario: virtual time of the first solve *)
+  snapshot_stats : Nyx_snapshot.Engine.stats option;
+      (** snapshot engine counters (Nyx-Net campaigns only) *)
+}
+
+val crashed : campaign_result -> bool
+(** Any crash other than a Mario solve. *)
+
+val found_kind : campaign_result -> string -> bool
+
+val pp_summary : Format.formatter -> campaign_result -> unit

@@ -1,0 +1,251 @@
+type tile = Air | Solid | Spike | Flag
+
+type t = {
+  name : string;
+  grid : tile array array;
+  width : int;
+  height : int;
+  spawn_col : int;
+  flag_col : int;
+}
+
+let tile_px = 16
+
+let tile_of_char = function
+  | '#' -> Solid
+  | '^' -> Spike
+  | 'F' -> Flag
+  | _ -> Air
+
+let parse ~name rows =
+  match rows with
+  | [] -> invalid_arg "Level.parse: empty level"
+  | first :: _ ->
+    let width = String.length first in
+    if not (List.for_all (fun r -> String.length r = width) rows) then
+      invalid_arg "Level.parse: ragged rows";
+    let grid =
+      Array.of_list
+        (List.map (fun row -> Array.init width (fun c -> tile_of_char row.[c])) rows)
+    in
+    let height = Array.length grid in
+    let flag_col = ref (-1) in
+    Array.iter
+      (fun row ->
+        Array.iteri (fun c t -> if t = Flag && !flag_col < 0 then flag_col := c) row)
+      grid;
+    if !flag_col < 0 then invalid_arg "Level.parse: no flag";
+    { name; grid; width; height; spawn_col = 2; flag_col = !flag_col }
+
+let tile_at t ~col ~row =
+  if col < 0 then Solid
+  else if col >= t.width || row < 0 || row >= t.height then Air
+  else t.grid.(row).(col)
+
+(* Hand-crafted 1-1: gentle gaps, a hurdle, a staircase, pipes-as-walls. *)
+let level_1_1 =
+  parse ~name:"1-1"
+    [
+      "                                                                                                         ";
+      "                                                                                                         ";
+      "                                                                                                         ";
+      "                                                                                                         ";
+      "                                                                                                   F     ";
+      "                         ##                                                        #               F     ";
+      "              ####                    ##        #            #                    ##               F     ";
+      "                                               ##           ##          ###      ###               F     ";
+      "                                              ###          ###                  ####               F     ";
+      "                                             ####         ####                 #####               F     ";
+      "                                                                                                   F     ";
+      "                                                                                                   F     ";
+      "######################################   ######################   ###################################### ";
+      "######################################   ######################   ###################################### ";
+    ]
+
+(* Deterministic generated layouts for the remaining levels. *)
+
+let height = 18
+let ground_row = 16
+
+type canvas = { mutable cols : tile array list (* reversed columns *) }
+
+let air_column () = Array.make height Air
+
+let ground_column ?(ground_height = 2) () =
+  let col = air_column () in
+  for r = height - ground_height to height - 1 do
+    col.(r) <- Solid
+  done;
+  col
+
+let push canvas col = canvas.cols <- col :: canvas.cols
+
+let flat canvas n =
+  for _ = 1 to n do
+    push canvas (ground_column ())
+  done
+
+let gap canvas n =
+  for _ = 1 to n do
+    push canvas (air_column ())
+  done
+
+let hurdle canvas h =
+  (* A wall of height [h] standing on the ground. *)
+  let col = ground_column () in
+  for r = ground_row - h to ground_row - 1 do
+    col.(r) <- Solid
+  done;
+  push canvas col
+
+let staircase canvas h =
+  for step = 1 to h do
+    let col = ground_column () in
+    for r = ground_row - step to ground_row - 1 do
+      col.(r) <- Solid
+    done;
+    push canvas col
+  done;
+  for step = h downto 1 do
+    let col = ground_column () in
+    for r = ground_row - step to ground_row - 1 do
+      col.(r) <- Solid
+    done;
+    push canvas col
+  done
+
+let spikes canvas n =
+  for _ = 1 to n do
+    let col = ground_column () in
+    col.(ground_row - 1) <- Spike;
+    push canvas col
+  done
+
+let platform_gap canvas width =
+  (* A gap too wide to clear directly, with a stepping platform two tiles
+     up spanning the middle third. *)
+  let mid = width / 2 in
+  for i = 1 to width do
+    let col = air_column () in
+    if i >= mid - 1 && i <= mid + 1 then col.(ground_row - 2) <- Solid;
+    push canvas col
+  done
+
+(* The 2-1 cliff: 12 tiles high. A normal jump gains ~3.5 tiles, so the
+   only way up is chaining wall-jump glitches against the cliff face. *)
+let cliff canvas rise =
+  for _ = 1 to 12 do
+    let col = air_column () in
+    for r = height - rise - 2 to height - 1 do
+      col.(r) <- Solid
+    done;
+    (* Carve a 1-wide shaft so the player stands next to the wall. *)
+    push canvas col
+  done
+
+let elevated_flat canvas rise n =
+  for _ = 1 to n do
+    let col = air_column () in
+    for r = height - rise - 2 to height - 1 do
+      col.(r) <- Solid
+    done;
+    push canvas col
+  done
+
+let finish canvas ~elevated_rise =
+  let mk () =
+    if elevated_rise > 0 then begin
+      let col = air_column () in
+      for r = height - elevated_rise - 2 to height - 1 do
+        col.(r) <- Solid
+      done;
+      col
+    end
+    else ground_column ()
+  in
+  for _ = 1 to 4 do
+    push canvas (mk ())
+  done;
+  let flag = mk () in
+  let top = if elevated_rise > 0 then height - elevated_rise - 2 else ground_row in
+  for r = 3 to top - 1 do
+    flag.(r) <- Flag
+  done;
+  push canvas flag;
+  for _ = 1 to 3 do
+    push canvas (mk ())
+  done
+
+let generate ~world ~stage =
+  let name = Printf.sprintf "%d-%d" world stage in
+  if name = "1-1" then level_1_1
+  else begin
+    let difficulty = ((world - 1) * 4) + stage in
+    let rng = Nyx_sim.Rng.create (1000 + (world * 37) + stage) in
+    let canvas = { cols = [] } in
+    flat canvas 8;
+    let sections = 10 + min 14 difficulty in
+    let is_shaft_level = world = 2 && stage = 1 in
+    for s = 1 to sections do
+      if is_shaft_level && s = sections / 3 then begin
+        (* The wall-jump shaft, then continue on the plateau. *)
+        flat canvas 3;
+        cliff canvas 12;
+        elevated_flat canvas 12 6
+      end
+      else begin
+        (match Nyx_sim.Rng.int rng 5 with
+        | 0 -> gap canvas (2 + min 2 (Nyx_sim.Rng.int rng (1 + (difficulty / 8))))
+        | 1 -> hurdle canvas (1 + Nyx_sim.Rng.int rng (min 3 (1 + (difficulty / 6))))
+        | 2 -> staircase canvas (1 + Nyx_sim.Rng.int rng 3)
+        | 3 -> if difficulty >= 4 then spikes canvas (1 + Nyx_sim.Rng.int rng 2) else flat canvas 2
+        | _ -> if difficulty >= 10 then platform_gap canvas 6 else gap canvas 2);
+        flat canvas (4 + Nyx_sim.Rng.int rng 6)
+      end
+    done;
+    finish canvas ~elevated_rise:(if is_shaft_level then 12 else 0);
+    let cols = Array.of_list (List.rev canvas.cols) in
+    let width = Array.length cols in
+    let grid = Array.init height (fun r -> Array.init width (fun c -> cols.(c).(r))) in
+    let flag_col = ref (width - 4) in
+    Array.iteri
+      (fun c col -> if Array.exists (fun t -> t = Flag) col && c < !flag_col then flag_col := c)
+      cols;
+    { name; grid; width; height; spawn_col = 2; flag_col = !flag_col }
+  end
+
+let all () =
+  List.concat_map
+    (fun world -> List.map (fun stage -> generate ~world ~stage) [ 1; 2; 3; 4 ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let find name =
+  List.find_opt (fun l -> l.name = name) (all ())
+
+(* Run speed is 56 sixteenths (3.5 px) per frame; obstacles force jump
+   arcs that cost roughly 10% extra. *)
+let speedrun_frames t =
+  let px = (t.flag_col - t.spawn_col) * tile_px in
+  px * 16 / 56 * 11 / 10
+
+let render ?(path = []) t =
+  let buf = Buffer.create (t.width * t.height) in
+  let path_cells =
+    List.map (fun (x, y) -> (x / tile_px, y / tile_px)) path
+  in
+  for r = 0 to t.height - 1 do
+    for c = 0 to t.width - 1 do
+      let ch =
+        if List.mem (c, r) path_cells then 'o'
+        else
+          match t.grid.(r).(c) with
+          | Air -> ' '
+          | Solid -> '#'
+          | Spike -> '^'
+          | Flag -> 'F'
+      in
+      Buffer.add_char buf ch
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

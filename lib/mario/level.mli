@@ -1,0 +1,52 @@
+(** Super Mario Bros.-style levels.
+
+    The paper's §5.3 experiment recreates IJON's Super Mario setup with 32
+    levels (worlds 1–8, stages 1–4). Ours are tile maps: level 1-1 is
+    hand-crafted; the rest are generated deterministically from the
+    (world, stage) pair with difficulty-scaled obstacles. Level 2-1
+    contains a shaft that cannot be crossed with a normal jump — only the
+    wall-jump glitch escapes it, reproducing the level IJON's authors
+    believed unsolvable. *)
+
+type tile = Air | Solid | Spike | Flag
+
+type t = {
+  name : string;
+  grid : tile array array;  (** [grid.(row).(col)], row 0 at top *)
+  width : int;  (** columns *)
+  height : int;  (** rows *)
+  spawn_col : int;
+  flag_col : int;
+}
+
+val tile_px : int
+(** Pixels per tile (16). *)
+
+val parse : name:string -> string list -> t
+(** Rows top to bottom: ['#'] solid, ['^'] spike, ['F'] flag pole,
+    [' '] air.
+    @raise Invalid_argument on ragged rows or a missing flag. *)
+
+val generate : world:int -> stage:int -> t
+(** Deterministic layout; difficulty grows with [4 * world + stage]. *)
+
+val all : unit -> t list
+(** All 32 levels, 1-1 … 8-4. *)
+
+val find : string -> t option
+(** Look up by name, e.g. ["1-1"]. *)
+
+val tile_at : t -> col:int -> row:int -> tile
+(** Out-of-range columns are air; out-of-range rows above are air, below
+    are air too (falling off the world is handled by the game). *)
+
+val speedrun_frames : t -> int
+(** Frames a flawless player needs to cross the level at full running
+    speed (a small allowance added for mandatory jumps) — the yardstick
+    behind the paper's "faster than light" comparison: at the native
+    60 FPS, playing the level once takes [speedrun_frames / 60]
+    seconds. *)
+
+val render : ?path:(int * int) list -> t -> string
+(** ASCII rendering, optionally overlaying a trajectory (pixel
+    coordinates) with ['o'] marks — the Figure 2 visualization. *)

@@ -1,0 +1,48 @@
+open Nyx_targets
+
+let packet_bytes = 16
+
+(* The booted Game.t is stored per-context via the global state block: the
+   state address Game allocates is recorded at g+0 so each boot has its own
+   instance. The Game.t wrapper itself is reconstructed per packet. *)
+
+let target level =
+  let game_ref : (Ctx.t * Game.t) option ref = ref None in
+  let on_init ctx ~g:_ =
+    game_ref := Some (ctx, Game.boot ctx level)
+  in
+  let on_packet ctx ~g:_ ~conn:_ ~reply:_ data =
+    match !game_ref with
+    | Some (boot_ctx, game) when boot_ctx == ctx -> (
+      try Game.run_input game data
+      with Game.Level_solved { frames } ->
+        Ctx.crash ctx ~kind:"level-solved" (Printf.sprintf "solved in %d frames" frames))
+    | _ -> Ctx.crash ctx ~kind:"harness" "game not booted for this context"
+  in
+  {
+    Target.info =
+      {
+        Target.name = "mario-" ^ level.Level.name;
+        role = Target.Server;
+        port = 6000;
+        proto = Nyx_netemu.Net.Udp;
+        dissector = Nyx_pcap.Dissector.Datagram;
+        startup_ns = 100_000_000;
+        work_ns = 0 (* frames charge their own cost *);
+        desock_compat = false;
+        forking = false;
+        max_recv = 256;
+        dict = [];
+      };
+    hooks = { Target.default_hooks with on_init; on_packet };
+  }
+
+let seeds level =
+  (* Enough hold-right-and-run packets to cross the level at max speed if
+     it were flat. The fuzzer has to discover every jump itself. *)
+  let px_needed = (level.Level.flag_col + 2) * Level.tile_px in
+  let frames = px_needed * 16 / 40 (* walk speed *) in
+  let bytes_needed = 1 + (frames / Game.frames_per_byte) in
+  let n_packets = 1 + (bytes_needed / packet_bytes) in
+  let run_right = Char.chr 0b1001 (* right+run *) in
+  [ List.init n_packets (fun _ -> Bytes.make packet_bytes run_right) ]

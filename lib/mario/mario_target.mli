@@ -1,0 +1,18 @@
+(** Adapter exposing a Mario level as a message-based fuzz target.
+
+    Input packets are frame-input chunks delivered over the emulated
+    network (the game "plays" whatever buttons arrive), so the whole
+    snapshot/executor machinery applies unchanged: incremental snapshots
+    freeze the game mid-level exactly as in Figure 2. Reaching the flag
+    raises {!Game.Level_solved}, which the executor reports like a crash
+    with kind ["level-solved"]. *)
+
+val target : Level.t -> Nyx_targets.Target.t
+(** Fresh target for one level (port 6000, UDP-style datagram input). *)
+
+val seeds : Level.t -> bytes list list
+(** "Hold right and run" input chunks long enough to cross the level if
+    it were flat — the natural starting corpus. *)
+
+val packet_bytes : int
+(** Input bytes per packet (16 ⇒ 64 frames). *)

@@ -1,0 +1,89 @@
+type direction = To_server | To_client
+
+type record = { stream : int; dir : direction; ts_us : int; payload : bytes }
+
+type t = { records : record list }
+
+let empty = { records = [] }
+
+let add t r = { records = t.records @ [ r ] }
+
+let streams t =
+  List.fold_left
+    (fun acc r -> if List.mem r.stream acc then acc else acc @ [ r.stream ])
+    [] t.records
+
+let stream_records t ?dir stream =
+  List.filter
+    (fun r -> r.stream = stream && match dir with None -> true | Some d -> r.dir = d)
+    t.records
+
+let magic = "NPCAP1"
+
+let serialize t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  let u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  u32 (List.length t.records);
+  List.iter
+    (fun r ->
+      Buffer.add_char buf (match r.dir with To_server -> '\000' | To_client -> '\001');
+      u32 r.stream;
+      u32 r.ts_us;
+      u32 (Bytes.length r.payload);
+      Buffer.add_bytes buf r.payload)
+    t.records;
+  Buffer.to_bytes buf
+
+let parse b =
+  let exception Bad of string in
+  let pos = ref 0 in
+  let len = Bytes.length b in
+  let u8 () =
+    if !pos >= len then raise (Bad "truncated");
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let a = u8 () and b' = u8 () and c = u8 () and d = u8 () in
+    a lor (b' lsl 8) lor (c lsl 16) lor (d lsl 24)
+  in
+  try
+    if len < String.length magic || Bytes.sub_string b 0 (String.length magic) <> magic
+    then raise (Bad "bad magic");
+    pos := String.length magic;
+    let n = u32 () in
+    if n > 1_000_000 then raise (Bad "unreasonable record count");
+    let records =
+      List.init n (fun _ ->
+          let dir = match u8 () with 0 -> To_server | 1 -> To_client | _ -> raise (Bad "bad direction") in
+          let stream = u32 () in
+          let ts_us = u32 () in
+          let plen = u32 () in
+          if !pos + plen > len then raise (Bad "truncated payload");
+          let payload = Bytes.sub b !pos plen in
+          pos := !pos + plen;
+          { stream; dir; ts_us; payload })
+    in
+    if !pos <> len then raise (Bad "trailing bytes");
+    Ok { records }
+  with Bad m -> Error m
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_bytes oc (serialize t))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse (Bytes.of_string s)
+  | exception Sys_error m -> Error m

@@ -1,0 +1,36 @@
+(** Network capture container.
+
+    A small self-describing capture format standing in for PCAP (the real
+    system reads Wireshark dumps via pyshark, §4.4). A capture is a list
+    of timestamped records, each belonging to a stream (one TCP connection
+    or UDP flow) with a direction. *)
+
+type direction = To_server | To_client
+
+type record = {
+  stream : int;
+  dir : direction;
+  ts_us : int;  (** microseconds since capture start *)
+  payload : bytes;
+}
+
+type t = { records : record list }
+
+val empty : t
+val add : t -> record -> t
+(** Appends (records stay in insertion order). *)
+
+val streams : t -> int list
+(** Distinct stream ids, in first-seen order. *)
+
+val stream_records : t -> ?dir:direction -> int -> record list
+
+(** {1 Wire format} *)
+
+val serialize : t -> bytes
+val parse : bytes -> (t, string) result
+
+val save : t -> string -> unit
+(** Write to a file. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,57 @@
+type t = Raw | Crlf | Length_prefixed of int | Datagram
+
+let concat records = Bytes.concat Bytes.empty records
+
+let split_crlf data =
+  let s = Bytes.to_string data in
+  let out = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len - 1 do
+    if s.[!i] = '\r' && s.[!i + 1] = '\n' then begin
+      out := String.sub s !start (!i + 2 - !start) :: !out;
+      start := !i + 2;
+      i := !i + 2
+    end
+    else incr i
+  done;
+  if !start < len then out := String.sub s !start (len - !start) :: !out;
+  List.rev_map Bytes.of_string !out
+
+let split_length_prefixed n data =
+  let len = Bytes.length data in
+  let read_be pos =
+    let v = ref 0 in
+    for i = 0 to n - 1 do
+      v := (!v lsl 8) lor Char.code (Bytes.get data (pos + i))
+    done;
+    !v
+  in
+  let out = ref [] in
+  let pos = ref 0 in
+  (try
+     while !pos + n <= len do
+       let plen = read_be !pos in
+       let total = n + plen in
+       if !pos + total > len then raise Exit;
+       out := Bytes.sub data !pos total :: !out;
+       pos := !pos + total
+     done
+   with Exit -> ());
+  if !pos < len then out := Bytes.sub data !pos (len - !pos) :: !out;
+  List.rev !out
+
+let split t records =
+  match t with
+  | Raw | Datagram -> records
+  | Crlf -> split_crlf (concat records)
+  | Length_prefixed n -> split_length_prefixed n (concat records)
+
+let of_string = function
+  | "raw" -> Ok Raw
+  | "crlf" -> Ok Crlf
+  | "dgram" -> Ok Datagram
+  | "len2" -> Ok (Length_prefixed 2)
+  | "len4" -> Ok (Length_prefixed 4)
+  | s -> Error (Printf.sprintf "unknown dissector %S (raw|crlf|dgram|len2|len4)" s)

@@ -1,0 +1,20 @@
+(** Stream dissectors: fragment a TCP byte stream into logical packets
+    (§4.4 — "the same logic that AFLNet uses"). *)
+
+type t =
+  | Raw  (** each capture record is one logical packet *)
+  | Crlf  (** split at CRLF, the common line-based protocols *)
+  | Length_prefixed of int
+      (** [Length_prefixed n]: each packet is an [n]-byte big-endian
+          length followed by that many payload bytes; the prefix is kept
+          in the packet *)
+  | Datagram  (** record = datagram (DNS, SIP/UDP, DTLS) *)
+
+val split : t -> bytes list -> bytes list
+(** [split t records] fragments the concatenation of [records] (for
+    [Raw]/[Datagram], records pass through unchanged). Trailing bytes that
+    do not form a complete packet become a final packet of their own. *)
+
+val of_string : string -> (t, string) result
+(** Parse a dissector name from the CLI: ["raw"], ["crlf"], ["dgram"],
+    ["len2"], ["len4"]. *)

@@ -1,0 +1,16 @@
+let packets_of_capture dissector capture =
+  Capture.streams capture
+  |> List.filter_map (fun stream ->
+         let records =
+           Capture.stream_records capture ~dir:Capture.To_server stream
+           |> List.map (fun r -> r.Capture.payload)
+         in
+         match Dissector.split dissector records with
+         | [] -> None
+         | packets -> Some packets)
+
+let to_seed net_spec dissector capture =
+  match packets_of_capture dissector capture with
+  | [] -> Nyx_spec.Net_spec.seed_of_packets net_spec []
+  | [ packets ] -> Nyx_spec.Net_spec.seed_of_packets net_spec packets
+  | streams -> Nyx_spec.Net_spec.seed_of_connections net_spec streams

@@ -1,0 +1,14 @@
+(** PCAP → bytecode seed conversion (§4.4).
+
+    Takes the client-to-server side of each stream in a capture, fragments
+    it with a dissector, and emits a bytecode program through the builder —
+    the full trace-to-seed pipeline of the paper (capture → pyshark →
+    builder → flat bytecode). *)
+
+val to_seed : Nyx_spec.Net_spec.t -> Dissector.t -> Capture.t -> Nyx_spec.Program.t
+(** One [connect] per stream, one [packet] per dissected fragment. Streams
+    with no client payload are skipped; an empty capture yields a program
+    with a single connection and no packets. *)
+
+val packets_of_capture : Dissector.t -> Capture.t -> bytes list list
+(** The dissected client-side packets, one list per stream. *)

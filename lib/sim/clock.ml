@@ -1,0 +1,19 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now_ns t = t.now
+
+let now_s t = float_of_int t.now /. 1e9
+
+let advance t ns =
+  if ns < 0 then invalid_arg "Clock.advance: negative duration";
+  t.now <- t.now + ns
+
+let reset t = t.now <- 0
+
+let pp_duration ppf ns =
+  let ms = ns / 1_000_000 in
+  let s = ms / 1000 in
+  let h = s / 3600 and m = s / 60 mod 60 and sec = s mod 60 in
+  Format.fprintf ppf "%02d:%02d:%02d.%03d" h m sec (ms mod 1000)

@@ -1,0 +1,28 @@
+(** Virtual time.
+
+    All Nyx-Net simulation components charge their work to a virtual clock
+    measured in nanoseconds. Campaign budgets, executions per second and
+    time-to-coverage are expressed in virtual time, which makes throughput
+    comparisons between fuzzers a property of the documented cost model
+    rather than of the host machine (see DESIGN.md §4). *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at virtual time zero. *)
+
+val now_ns : t -> int
+(** Current virtual time in nanoseconds since creation. *)
+
+val now_s : t -> float
+(** Current virtual time in seconds. *)
+
+val advance : t -> int -> unit
+(** [advance t ns] moves the clock forward by [ns] nanoseconds.
+    @raise Invalid_argument if [ns] is negative. *)
+
+val reset : t -> unit
+(** Rewind to zero (used between campaign repetitions). *)
+
+val pp_duration : Format.formatter -> int -> unit
+(** Render a nanosecond duration as a human-readable [HH:MM:SS.mmm]. *)

@@ -1,0 +1,24 @@
+let edge = 5
+let guest_mem_op = 20
+let guest_mem_per_byte n = n / 2
+
+let emulated_syscall = 250
+let snapshot_hypercall = 2_000
+
+let real_syscall = 3_000
+let real_connect = 150_000
+let real_packet len = 8_000 + (2 * len)
+let response_wait = 1_000_000
+let server_init_wait = 50_000_000
+let cleanup_script = 30_000_000
+
+let fork = 400_000
+let spawn = 2_000_000
+
+let page_copy = 700
+let dirty_stack_entry = 16
+let bitmap_scan_per_page = 2
+let device_fast_reset = 8_000
+let device_serialize_reset = 150_000
+let disk_sector_op = 1_000
+let aux_state_per_byte n = n / 4

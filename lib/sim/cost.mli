@@ -1,0 +1,85 @@
+(** The virtual-time cost model.
+
+    Every constant is a duration in virtual nanoseconds charged to a
+    {!Clock.t} when the corresponding operation is simulated. The constants
+    are chosen to match the magnitudes reported by the paper (§2.3, §4.2,
+    Table 3, Figure 6) and public measurements of the real mechanisms:
+    e.g. a loopback TCP connect costs ~100µs, Nyx restores a small root
+    snapshot at ~12,000 resets/s, and KVM keeps one dirty-bitmap byte per
+    page, which is why the dirty-stack (8 bytes/entry) loses to the bitmap
+    only once almost every page is dirty.
+
+    Relative — not absolute — costs are what the reproduction relies on;
+    see DESIGN.md §1 for the substitution argument. *)
+
+(** {1 Target execution} *)
+
+val edge : int
+(** Compile-time instrumentation callback at a branch edge. *)
+
+val guest_mem_op : int
+(** Base cost of a guest heap read or write. *)
+
+val guest_mem_per_byte : int -> int
+(** Additional cost for touching [n] bytes of guest memory. *)
+
+(** {1 Emulated networking (Nyx-Net agent hooks)} *)
+
+val emulated_syscall : int
+(** One hooked libc call served from the bytecode stream. *)
+
+val snapshot_hypercall : int
+(** Agent-to-hypervisor hypercall issued by the snapshot opcode. *)
+
+(** {1 Real networking (baseline fuzzers)} *)
+
+val real_syscall : int
+(** A genuine syscall crossing the kernel boundary. *)
+
+val real_connect : int
+(** TCP three-way handshake on loopback. *)
+
+val real_packet : int -> int
+(** [real_packet len] sends or receives one packet of [len] bytes
+    through the real network stack. *)
+
+val response_wait : int
+(** Fixed response-timeout wait AFLNet inserts after each packet. *)
+
+val server_init_wait : int
+(** Fixed sleep AFLNet inserts while waiting for the server to come up. *)
+
+val cleanup_script : int
+(** Running the user-supplied environment cleanup script between tests. *)
+
+(** {1 Processes} *)
+
+val fork : int
+(** Forking an already-running process (AFL forkserver). *)
+
+val spawn : int
+(** Spawning a process from scratch, excluding target-specific startup. *)
+
+(** {1 Snapshots (Figure 6 cost structure)} *)
+
+val page_copy : int
+(** Copying one guest page (create or restore). *)
+
+val dirty_stack_entry : int
+(** Touching one 8-byte entry of Nyx's dirty stack. *)
+
+val bitmap_scan_per_page : int
+(** Scanning one byte of KVM's 1-byte-per-page dirty bitmap
+    (Agamotto walks the whole bitmap; Nyx-Net does not). *)
+
+val device_fast_reset : int
+(** Nyx's custom emulated-device reset. *)
+
+val device_serialize_reset : int
+(** QEMU's generic device (de)serialization, used by Agamotto. *)
+
+val disk_sector_op : int
+(** One sector lookup/copy in the overlay cache. *)
+
+val aux_state_per_byte : int -> int
+(** Capturing or restoring [n] bytes of auxiliary (kernel/agent) state. *)

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 step: one 64-bit output per call. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits: Int64.to_int keeps the low 63 bits, so a raw
+     63-bit value could still come out negative. *)
+  let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x *. v /. 9007199254740992.0 (* 2^53 *)
+
+let chance t p = float t 1.0 < p
+
+let byte t = Char.chr (int t 256)
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (byte t)
+  done;
+  b
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Rng.weighted: non-positive total weight";
+  let target = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: empty list"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0.0 pairs

@@ -1,0 +1,139 @@
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let median xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs - 1))
+
+(* Standard normal CDF via the Abramowitz–Stegun erf approximation. *)
+let normal_cdf z =
+  let t = 1.0 /. (1.0 +. (0.2316419 *. abs_float z)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t
+          *. (-0.356563782
+             +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let pdf = exp (-.(z *. z) /. 2.0) /. sqrt (2.0 *. Float.pi) in
+  let tail = pdf *. poly in
+  if z >= 0.0 then 1.0 -. tail else tail
+
+let mann_whitney_u xs ys =
+  let n1 = List.length xs and n2 = List.length ys in
+  if n1 = 0 || n2 = 0 then 1.0
+  else begin
+    let tagged =
+      List.map (fun x -> (x, `X)) xs @ List.map (fun y -> (y, `Y)) ys
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> Array.of_list
+    in
+    let n = Array.length tagged in
+    (* Assign mid-ranks to ties and collect tie-group sizes. *)
+    let ranks = Array.make n 0.0 in
+    let ties = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n - 1 && fst tagged.(!j + 1) = fst tagged.(!i) do
+        incr j
+      done;
+      let mid = float_of_int (!i + !j + 2) /. 2.0 in
+      for k = !i to !j do
+        ranks.(k) <- mid
+      done;
+      let group = !j - !i + 1 in
+      if group > 1 then ties := group :: !ties;
+      i := !j + 1
+    done;
+    let r1 = ref 0.0 in
+    Array.iteri (fun k (_, tag) -> if tag = `X then r1 := !r1 +. ranks.(k)) tagged;
+    let fn1 = float_of_int n1 and fn2 = float_of_int n2 in
+    let u1 = !r1 -. (fn1 *. (fn1 +. 1.0) /. 2.0) in
+    let mu = fn1 *. fn2 /. 2.0 in
+    let fn = fn1 +. fn2 in
+    let tie_term =
+      List.fold_left
+        (fun acc g ->
+          let fg = float_of_int g in
+          acc +. ((fg ** 3.0) -. fg))
+        0.0 !ties
+    in
+    let sigma2 =
+      fn1 *. fn2 /. 12.0 *. (fn +. 1.0 -. (tie_term /. (fn *. (fn -. 1.0))))
+    in
+    if sigma2 <= 0.0 then 1.0
+    else begin
+      let z = (u1 -. mu) /. sqrt sigma2 in
+      2.0 *. (1.0 -. normal_cdf (abs_float z))
+    end
+  end
+
+module Timeline = struct
+  type t = { mutable rev_samples : (int * float) list; mutable last_t : int }
+
+  let create () = { rev_samples = []; last_t = -1 }
+
+  let record tl t v =
+    if t < tl.last_t then invalid_arg "Timeline.record: time went backwards";
+    tl.last_t <- t;
+    tl.rev_samples <- (t, v) :: tl.rev_samples
+
+  let value_at tl t =
+    let rec find = function
+      | [] -> 0.0
+      | (ts, v) :: rest -> if ts <= t then v else find rest
+    in
+    find tl.rev_samples
+
+  let final tl = match tl.rev_samples with [] -> 0.0 | (_, v) :: _ -> v
+
+  let first_time_reaching tl v =
+    let rec scan best = function
+      | [] -> best
+      | (ts, value) :: rest ->
+        scan (if value >= v then Some ts else best) rest
+    in
+    scan None tl.rev_samples
+
+  let samples tl = List.rev tl.rev_samples
+
+  let median_across tls grid =
+    List.map
+      (fun t ->
+        let vs = List.map (fun tl -> value_at tl t) tls in
+        (t, median vs))
+      grid
+end
+
+module Counters = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let add t name n =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t name) in
+    Hashtbl.replace t name (cur + n)
+
+  let incr t name = add t name 1
+  let get t name = Option.value ~default:0 (Hashtbl.find_opt t name)
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end

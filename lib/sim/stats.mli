@@ -1,0 +1,57 @@
+(** Descriptive statistics and significance testing for campaign results.
+
+    The evaluation follows Klees et al.'s recommendations as the paper does:
+    medians across repetitions and Mann–Whitney U tests for significance
+    (Table 2 renders significant changes in bold). *)
+
+val mean : float list -> float
+val median : float list -> float
+val stddev : float list -> float
+
+val mann_whitney_u : float list -> float list -> float
+(** [mann_whitney_u xs ys] is the two-sided p-value of the Mann–Whitney U
+    test (normal approximation with tie correction), the significance test
+    the paper applies to per-target coverage across repetitions. *)
+
+(** Time-series of a monotonically growing metric (e.g. branch coverage)
+    sampled against the virtual clock. *)
+module Timeline : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> int -> float -> unit
+  (** [record tl t_ns v] appends a sample. Samples must arrive in
+      non-decreasing time order. *)
+
+  val value_at : t -> int -> float
+  (** Latest recorded value at or before [t_ns]; 0.0 before the first
+      sample. *)
+
+  val final : t -> float
+  (** Last recorded value; 0.0 when empty. *)
+
+  val first_time_reaching : t -> float -> int option
+  (** Earliest virtual time at which the series reached [v], if ever —
+      the primitive behind Table 5 ("time to equal coverage"). *)
+
+  val samples : t -> (int * float) list
+  (** All samples, oldest first. *)
+
+  val median_across : t list -> int list -> (int * float) list
+  (** [median_across tls grid] evaluates each timeline on [grid] and takes
+      the per-point median — how the paper aggregates 10 runs into one
+      coverage curve (Figures 5 and 7). *)
+end
+
+(** Named monotonic counters for executor/campaign bookkeeping. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end

@@ -1,0 +1,201 @@
+open Nyx_vm
+
+type node = {
+  id : int;
+  parent : int option;
+  pages : (int, Bytes.t) Hashtbl.t;
+  device : bytes;
+  aux : Aux_state.capture;
+  mutable last_used : int;
+  mutable evicted : bool;
+}
+
+type node_id = int
+
+type t = {
+  vm : Vm.t;
+  aux_reg : Aux_state.t;
+  nodes : (int, node) Hashtbl.t;
+  budget : int;
+  mutable next_id : int;
+  mutable current_id : int;
+  mutable tick : int;
+  mutable stored : int;
+  mutable evicted_count : int;
+}
+
+let node_bytes n = (Hashtbl.length n.pages * Page.size) + Bytes.length n.device
+
+let create ?(budget_bytes = 1 lsl 30) (vm : Vm.t) aux_reg =
+  (* Root checkpoint: a full copy of all materialized pages. *)
+  let pages = Hashtbl.create 1024 in
+  Seq.iter
+    (fun (pfn, content) ->
+      Nyx_sim.Clock.advance vm.clock Nyx_sim.Cost.page_copy;
+      Hashtbl.replace pages pfn (Bytes.copy content))
+    (Memory.materialized vm.mem);
+  Nyx_sim.Clock.advance vm.clock Nyx_sim.Cost.device_serialize_reset;
+  let root =
+    {
+      id = 0;
+      parent = None;
+      pages;
+      device = Device_state.capture vm.device;
+      aux = Aux_state.capture aux_reg vm.clock;
+      last_used = 0;
+      evicted = false;
+    }
+  in
+  Memory.clear_dirty vm.mem;
+  let nodes = Hashtbl.create 64 in
+  Hashtbl.replace nodes 0 root;
+  {
+    vm;
+    aux_reg;
+    nodes;
+    budget = budget_bytes;
+    next_id = 1;
+    current_id = 0;
+    tick = 1;
+    stored = node_bytes root;
+    evicted_count = 0;
+  }
+
+let root _t = 0
+let current t = t.current_id
+
+let get_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n when not n.evicted -> n
+  | _ -> invalid_arg "Agamotto: unknown or evicted checkpoint"
+
+(* Find page content along the ancestor chain; each hop is a hashmap probe
+   we charge a stack-entry's worth of work for. *)
+let rec lookup_page t node pfn =
+  Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.dirty_stack_entry;
+  match Hashtbl.find_opt node.pages pfn with
+  | Some content -> Some content
+  | None -> (
+    match node.parent with
+    | None -> None
+    | Some pid -> lookup_page t (get_node t pid) pfn)
+
+let is_ancestor t anc id =
+  let rec walk id =
+    if id = anc then true
+    else
+      match (Hashtbl.find t.nodes id).parent with
+      | None -> false
+      | Some pid -> walk pid
+  in
+  walk id
+
+(* LRU eviction of leaf checkpoints off the current path; the cleanup work
+   is what slows Agamotto down once the 1 GB budget is hit (§5.3). *)
+let evict_until_under_budget t =
+  let has_live_child n =
+    Hashtbl.fold
+      (fun _ c acc -> acc || ((not c.evicted) && c.parent = Some n.id))
+      t.nodes false
+  in
+  let continue = ref true in
+  while t.stored > t.budget && !continue do
+    let candidate =
+      Hashtbl.fold
+        (fun _ n best ->
+          if n.evicted || n.id = 0 || is_ancestor t n.id t.current_id
+             || has_live_child n
+          then best
+          else
+            match best with
+            | Some b when b.last_used <= n.last_used -> best
+            | _ -> Some n)
+        t.nodes None
+    in
+    match candidate with
+    | None -> continue := false
+    | Some n ->
+      Nyx_sim.Clock.advance t.vm.clock
+        (Hashtbl.length n.pages * Nyx_sim.Cost.dirty_stack_entry);
+      t.stored <- t.stored - node_bytes n;
+      n.evicted <- true;
+      Hashtbl.reset n.pages;
+      t.evicted_count <- t.evicted_count + 1
+  done
+
+let checkpoint t =
+  let dirty = Memory.dirty t.vm.mem in
+  let pages = Hashtbl.create 64 in
+  (* Agamotto walks the whole dirty bitmap to find the delta. *)
+  Dirty_log.iter_bitmap dirty t.vm.clock (fun pfn ->
+      Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.page_copy;
+      match Memory.page_content t.vm.mem pfn with
+      | Some content -> Hashtbl.replace pages pfn content
+      | None -> Hashtbl.replace pages pfn (Page.zero ()));
+  Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.device_serialize_reset;
+  let n =
+    {
+      id = t.next_id;
+      parent = Some t.current_id;
+      pages;
+      device = Device_state.capture t.vm.device;
+      aux = Aux_state.capture t.aux_reg t.vm.clock;
+      last_used = t.tick;
+      evicted = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.nodes n.id n;
+  t.stored <- t.stored + node_bytes n;
+  Dirty_log.clear dirty;
+  t.current_id <- n.id;
+  evict_until_under_budget t;
+  n.id
+
+let ancestors t id =
+  let rec walk acc id =
+    match (Hashtbl.find t.nodes id).parent with
+    | None -> id :: acc
+    | Some pid -> walk (id :: acc) pid
+  in
+  walk [] id (* root first *)
+
+let restore t id =
+  let target = get_node t id in
+  let dirty = Memory.dirty t.vm.mem in
+  (* Pages to reset: everything dirtied since the current checkpoint, plus
+     the deltas recorded on the tree path between the current node and the
+     target (below their lowest common ancestor) — moving across the tree
+     must undo intermediate checkpoints' writes. *)
+  let to_reset = Hashtbl.create 64 in
+  Dirty_log.iter_bitmap dirty t.vm.clock (fun pfn ->
+      Hashtbl.replace to_reset pfn ());
+  let rec strip_common = function
+    | a :: resta, b :: restb when a = b -> strip_common (resta, restb)
+    | pair -> pair
+  in
+  let cur_path, tgt_path = strip_common (ancestors t t.current_id, ancestors t id) in
+  List.iter
+    (fun nid ->
+      let n = Hashtbl.find t.nodes nid in
+      if n.evicted then invalid_arg "Agamotto: unknown or evicted checkpoint";
+      Hashtbl.iter (fun pfn _ -> Hashtbl.replace to_reset pfn ()) n.pages)
+    (cur_path @ tgt_path);
+  Hashtbl.iter
+    (fun pfn () ->
+      Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.page_copy;
+      match lookup_page t target pfn with
+      | Some content -> Memory.set_page t.vm.mem pfn content
+      | None -> Memory.drop_page t.vm.mem pfn)
+    to_reset;
+  Dirty_log.clear dirty;
+  Device_state.restore_serialized t.vm.device t.vm.clock target.device;
+  Aux_state.restore t.aux_reg t.vm.clock target.aux;
+  target.last_used <- t.tick;
+  t.tick <- t.tick + 1;
+  t.current_id <- id
+
+let stored_bytes t = t.stored
+let evictions t = t.evicted_count
+let node_count t = Hashtbl.fold (fun _ n acc -> if n.evicted then acc else acc + 1) t.nodes 0

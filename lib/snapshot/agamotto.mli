@@ -1,0 +1,31 @@
+(** Agamotto-style checkpointing (the comparison system of §5.3/Figure 6).
+
+    Agamotto maintains a {e tree} of incremental checkpoints, each storing
+    the pages dirtied since its parent. Three properties distinguish it
+    from the Nyx-Net engine and produce Figure 6's gap:
+
+    - dirty pages are enumerated by scanning KVM's whole per-page bitmap
+      (cost proportional to VM size, not to the number of dirty pages);
+    - device state goes through QEMU's generic serialization;
+    - checkpoints are cached under a memory budget (1 GB in the paper)
+      with LRU eviction, whose cleanup work slows the steady state. *)
+
+type t
+type node_id
+
+val create : ?budget_bytes:int -> Nyx_vm.Vm.t -> Aux_state.t -> t
+(** Take the root checkpoint. [budget_bytes] defaults to 1 GiB. *)
+
+val root : t -> node_id
+val current : t -> node_id
+
+val checkpoint : t -> node_id
+(** Checkpoint the current VM state as a child of {!current}. *)
+
+val restore : t -> node_id -> unit
+(** Reset the VM to a checkpoint. @raise Invalid_argument if the node was
+    evicted. *)
+
+val stored_bytes : t -> int
+val evictions : t -> int
+val node_count : t -> int

@@ -1,0 +1,32 @@
+type handler = { name : string; save : unit -> bytes; load : bytes -> unit }
+
+type t = { mutable handlers : handler list (* reversed *) }
+
+type capture = (string * bytes) list
+
+let create () = { handlers = [] }
+
+let register t h = t.handlers <- h :: t.handlers
+
+let in_order t = List.rev t.handlers
+
+let capture t clock =
+  List.map
+    (fun h ->
+      let b = h.save () in
+      Nyx_sim.Clock.advance clock (Nyx_sim.Cost.aux_state_per_byte (Bytes.length b));
+      (h.name, b))
+    (in_order t)
+
+let restore t clock cap =
+  let handlers = in_order t in
+  if List.length handlers <> List.length cap then
+    invalid_arg "Aux_state.restore: handler set changed since capture";
+  List.iter2
+    (fun h (name, b) ->
+      if h.name <> name then invalid_arg "Aux_state.restore: handler set changed since capture";
+      Nyx_sim.Clock.advance clock (Nyx_sim.Cost.aux_state_per_byte (Bytes.length b));
+      h.load b)
+    handlers cap
+
+let size_bytes cap = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 cap

@@ -1,0 +1,31 @@
+(** Auxiliary snapshot state.
+
+    A whole-VM snapshot captures more than guest RAM: kernel socket state,
+    the agent's bookkeeping, etc. Components holding such state (notably
+    the emulated network stack) register save/load handlers here; the
+    snapshot engines capture and restore them alongside memory and devices.
+    Handlers must serialize closure-free data only. *)
+
+type handler = {
+  name : string;
+  save : unit -> bytes;
+  load : bytes -> unit;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> handler -> unit
+(** Handlers are captured/restored in registration order. *)
+
+type capture
+
+val capture : t -> Nyx_sim.Clock.t -> capture
+(** Snapshot all registered state, charging per byte. *)
+
+val restore : t -> Nyx_sim.Clock.t -> capture -> unit
+(** Restore a previous capture, charging per byte.
+    @raise Invalid_argument if the handler set changed since capture. *)
+
+val size_bytes : capture -> int

@@ -1,0 +1,155 @@
+open Nyx_vm
+
+type stats = {
+  root_restores : int;
+  incremental_creates : int;
+  incremental_restores : int;
+  pages_restored : int;
+  remirrors : int;
+}
+
+type t = {
+  vm : Vm.t;
+  aux : Aux_state.t;
+  root : Root.t;
+  mirror : (int, Bytes.t) Hashtbl.t;
+  remirror_interval : int;
+  mutable creates_since_remirror : int;
+  mutable inc_device : bytes option;
+  mutable inc_aux : Aux_state.capture option;
+  mutable active : bool;
+  mutable s_root_restores : int;
+  mutable s_inc_creates : int;
+  mutable s_inc_restores : int;
+  mutable s_pages_restored : int;
+  mutable s_remirrors : int;
+}
+
+let create ?(remirror_interval = 2000) vm aux =
+  let root = Root.create vm aux in
+  {
+    vm;
+    aux;
+    root;
+    mirror = Hashtbl.create 256;
+    remirror_interval;
+    creates_since_remirror = 0;
+    inc_device = None;
+    inc_aux = None;
+    active = false;
+    s_root_restores = 0;
+    s_inc_creates = 0;
+    s_inc_restores = 0;
+    s_pages_restored = 0;
+    s_remirrors = 0;
+  }
+
+let vm t = t.vm
+let has_incremental t = t.active
+
+let charge_page t = Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.page_copy
+
+let root_page_or_zero t pfn =
+  match Root.page t.root pfn with Some p -> p | None -> Page.zero ()
+
+(* Remap the mirror back onto a clean CoW view of the root image: drop all
+   accumulated real copies. A page-table remap, far cheaper than copying. *)
+let remirror t =
+  Nyx_sim.Clock.advance t.vm.clock
+    (Hashtbl.length t.mirror * Nyx_sim.Cost.dirty_stack_entry);
+  Hashtbl.reset t.mirror;
+  t.creates_since_remirror <- 0;
+  t.s_remirrors <- t.s_remirrors + 1
+
+let take_incremental t =
+  if t.active then invalid_arg "Engine.take_incremental: already active";
+  if t.creates_since_remirror >= t.remirror_interval then remirror t;
+  let dirty = Memory.dirty t.vm.mem in
+  (* Overwrite stale mirror entries (left by a previous incremental
+     snapshot) with root content so the mirror again equals the root
+     everywhere except the pages we are about to copy. *)
+  let stale =
+    Hashtbl.fold
+      (fun pfn _ acc -> if Dirty_log.is_dirty dirty pfn then acc else pfn :: acc)
+      t.mirror []
+  in
+  List.iter
+    (fun pfn ->
+      charge_page t;
+      Hashtbl.replace t.mirror pfn (Bytes.copy (root_page_or_zero t pfn)))
+    stale;
+  (* Copy the pages dirtied since the root snapshot: this is the actual
+     content of the incremental snapshot. *)
+  Dirty_log.iter_stack dirty t.vm.clock (fun pfn ->
+      charge_page t;
+      match Memory.page_content t.vm.mem pfn with
+      | Some content -> Hashtbl.replace t.mirror pfn content
+      | None -> Hashtbl.replace t.mirror pfn (Page.zero ()));
+  Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.device_fast_reset;
+  t.inc_device <- Some (Device_state.capture t.vm.device);
+  t.inc_aux <- Some (Aux_state.capture t.aux t.vm.clock);
+  Disk.freeze_incremental t.vm.disk;
+  Dirty_log.clear dirty;
+  t.active <- true;
+  t.creates_since_remirror <- t.creates_since_remirror + 1;
+  t.s_inc_creates <- t.s_inc_creates + 1
+
+let restore_incremental t =
+  let dirty = Memory.dirty t.vm.mem in
+  let restored = ref 0 in
+  Dirty_log.iter_stack dirty t.vm.clock (fun pfn ->
+      charge_page t;
+      incr restored;
+      match Hashtbl.find_opt t.mirror pfn with
+      | Some content -> Memory.set_page t.vm.mem pfn content
+      | None -> (
+        match Root.page t.root pfn with
+        | Some content -> Memory.set_page t.vm.mem pfn content
+        | None -> Memory.drop_page t.vm.mem pfn));
+  Dirty_log.clear dirty;
+  (match (t.inc_device, t.inc_aux) with
+  | Some dev, Some aux ->
+    Device_state.restore_fast t.vm.device t.vm.clock dev;
+    Aux_state.restore t.aux t.vm.clock aux
+  | _ -> assert false);
+  Disk.reset_to_incremental t.vm.disk;
+  t.s_pages_restored <- t.s_pages_restored + !restored;
+  t.s_inc_restores <- t.s_inc_restores + 1
+
+let restore_root t =
+  if t.active then begin
+    (* First reset the suffix writes to the incremental image, then revert
+       every mirror entry to root content. Together this puts guest memory
+       back at the root image while keeping the accumulated mirror pages
+       around as stale copies (reverted again at the next create). *)
+    restore_incremental t;
+    t.s_inc_restores <- t.s_inc_restores - 1 (* internal step, not a test reset *);
+    Hashtbl.iter
+      (fun pfn _ ->
+        charge_page t;
+        match Root.page t.root pfn with
+        | Some content -> Memory.set_page t.vm.mem pfn content
+        | None -> Memory.drop_page t.vm.mem pfn)
+      t.mirror;
+    Disk.drop_incremental t.vm.disk;
+    t.inc_device <- None;
+    t.inc_aux <- None;
+    t.active <- false
+  end;
+  let restored = Root.restore t.vm t.aux t.root in
+  t.s_pages_restored <- t.s_pages_restored + restored;
+  t.s_root_restores <- t.s_root_restores + 1
+
+let restore t = if t.active then restore_incremental t else restore_root t
+
+let stats t =
+  {
+    root_restores = t.s_root_restores;
+    incremental_creates = t.s_inc_creates;
+    incremental_restores = t.s_inc_restores;
+    pages_restored = t.s_pages_restored;
+    remirrors = t.s_remirrors;
+  }
+
+let mirror_pages t = Hashtbl.length t.mirror
+let root_stored_bytes t = Root.stored_bytes t.root

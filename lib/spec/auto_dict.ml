@@ -1,0 +1,52 @@
+let is_token_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '/' || c = '.'
+
+let words_of_payload payload =
+  let s = Bytes.to_string payload in
+  let out = ref [] in
+  let start = ref (-1) in
+  let flush i =
+    if !start >= 0 then begin
+      let len = i - !start in
+      if len >= 3 && len <= 16 then out := String.sub s !start len :: !out;
+      start := -1
+    end
+  in
+  String.iteri (fun i c -> if is_token_char c then (if !start < 0 then start := i) else flush i) s;
+  flush (String.length s);
+  !out
+
+let extract ?(max_tokens = 64) programs =
+  let freq = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Program.t) ->
+      Array.iter
+        (fun (op : Program.op) ->
+          Array.iter
+            (fun payload ->
+              List.iter
+                (fun w ->
+                  Hashtbl.replace freq w
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt freq w)))
+                (words_of_payload payload))
+            op.Program.data)
+        p.Program.ops)
+    programs;
+  Hashtbl.fold (fun w n acc -> (w, n) :: acc) freq []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < max_tokens)
+  |> List.map (fun (w, _) -> Bytes.of_string w)
+
+let merge a b =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.replace seen t ();
+        true
+      end)
+    (a @ b)

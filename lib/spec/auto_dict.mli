@@ -1,0 +1,14 @@
+(** Automatic dictionary extraction from seed inputs.
+
+    AFL-style auto-dictionaries: protocol keywords are usually visible in
+    seed traffic, so tokenizing the seed payloads yields most of what a
+    hand-written dictionary would contain. Campaigns merge this with the
+    target's shipped dictionary. *)
+
+val extract : ?max_tokens:int -> Program.t list -> bytes list
+(** Printable words (3–16 chars, split at non-token bytes) from all
+    payload fields, deduplicated, most frequent first, capped at
+    [max_tokens] (default 64). *)
+
+val merge : bytes list -> bytes list -> bytes list
+(** Union, first list's order first, deduplicated. *)

@@ -1,0 +1,26 @@
+(** Seed construction (§4.4).
+
+    The OCaml analogue of the paper's Python library: calling a node-type
+    function logs the invocation, returns tracking values for its outputs,
+    and [build] serializes the logged call graph into a flat bytecode
+    program. Used by the PCAP importer and by hand-written seeds
+    (Listing 2 of the paper). *)
+
+type t
+type value
+(** A tracked value produced by an earlier call. *)
+
+val create : Spec.t -> t
+
+val call : t -> string -> ?data:bytes list -> value list -> value list
+(** [call b node_name ~data inputs] logs one invocation. Inputs are given
+    in borrow-then-consume order; missing data fields default to empty.
+    @raise Not_found on an unknown node name.
+    @raise Invalid_argument on arity/type errors or reuse of a consumed
+    value. *)
+
+val snapshot : t -> unit
+(** Log an explicit snapshot opcode. *)
+
+val build : t -> Program.t
+(** The resulting program always passes {!Program.validate}. *)

@@ -1,0 +1,75 @@
+open Nyx_sim
+
+let interesting_bytes = [| 0; 1; 16; 32; 64; 100; 127; 128; 255 |]
+
+let clamp max_len b = if Bytes.length b > max_len then Bytes.sub b 0 max_len else b
+
+let delete_range rng b =
+  let len = Bytes.length b in
+  if len < 2 then b
+  else begin
+    let start = Rng.int rng len in
+    let dlen = 1 + Rng.int rng (min 16 (len - start)) in
+    Bytes.cat (Bytes.sub b 0 start) (Bytes.sub b (start + dlen) (len - start - dlen))
+  end
+
+let duplicate_range rng b =
+  let len = Bytes.length b in
+  if len = 0 then b
+  else begin
+    let start = Rng.int rng len in
+    let dlen = 1 + Rng.int rng (min 16 (len - start)) in
+    let chunk = Bytes.sub b start dlen in
+    let at = Rng.int rng (len + 1) in
+    Bytes.concat Bytes.empty [ Bytes.sub b 0 at; chunk; Bytes.sub b at (len - at) ]
+  end
+
+let insert_random rng b =
+  let len = Bytes.length b in
+  let at = Rng.int rng (len + 1) in
+  let chunk = Rng.bytes rng (1 + Rng.int rng 8) in
+  Bytes.concat Bytes.empty [ Bytes.sub b 0 at; chunk; Bytes.sub b at (len - at) ]
+
+let splice_dict rng dict b =
+  match dict with
+  | [] -> b
+  | _ ->
+    let token = Rng.choose_list rng dict in
+    let len = Bytes.length b in
+    let at = Rng.int rng (len + 1) in
+    if Rng.bool rng && len > at + Bytes.length token then begin
+      (* Overwrite in place. *)
+      let out = Bytes.copy b in
+      Bytes.blit token 0 out at (Bytes.length token);
+      out
+    end
+    else Bytes.concat Bytes.empty [ Bytes.sub b 0 at; token; Bytes.sub b at (len - at) ]
+
+let in_place_byte_op rng b f =
+  let len = Bytes.length b in
+  if len = 0 then b
+  else begin
+    let out = Bytes.copy b in
+    let i = Rng.int rng len in
+    Bytes.set out i (Char.chr (f (Char.code (Bytes.get out i)) land 0xff));
+    out
+  end
+
+let mutate rng ?(dict = []) ?(max_len = 4096) ?(rounds = 8) data =
+  let n = 1 + Rng.int rng rounds in
+  let b = ref (Bytes.copy data) in
+  for _ = 1 to n do
+    let choice = Rng.int rng 8 in
+    b :=
+      (match choice with
+      | 0 -> in_place_byte_op rng !b (fun c -> c lxor (1 lsl Rng.int rng 8))
+      | 1 -> in_place_byte_op rng !b (fun _ -> Rng.choose rng interesting_bytes)
+      | 2 -> in_place_byte_op rng !b (fun _ -> Char.code (Rng.byte rng))
+      | 3 -> in_place_byte_op rng !b (fun c -> c + Rng.int_in rng (-16) 16)
+      | 4 -> delete_range rng !b
+      | 5 -> duplicate_range rng !b
+      | 6 -> insert_random rng !b
+      | 7 -> splice_dict rng dict !b
+      | _ -> assert false)
+  done;
+  clamp max_len !b

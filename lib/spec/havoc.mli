@@ -1,0 +1,16 @@
+(** AFL-style byte-level havoc mutations.
+
+    Shared by the Nyx-Net mutator (per-packet payload mutation) and the
+    baseline fuzzers (AFLNet region mutation, AFLNwe whole-blob
+    mutation). *)
+
+val interesting_bytes : int array
+(** AFL's interesting 8-bit values. *)
+
+val mutate :
+  Nyx_sim.Rng.t -> ?dict:bytes list -> ?max_len:int -> ?rounds:int -> bytes -> bytes
+(** [mutate rng data] applies 1–[rounds] (default 8) stacked mutations:
+    bit flips, interesting-value overwrites, random byte sets, arithmetic
+    nudges, range deletion/duplication, random inserts and dictionary
+    token splices. The result never exceeds [max_len] (default 4096) and
+    is never physically shared with the input. *)

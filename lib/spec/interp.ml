@@ -1,0 +1,63 @@
+type handlers = {
+  exec : Spec.node_ty -> int list -> bytes array -> int list;
+  snapshot : unit -> unit;
+}
+
+type env = { mutable values : int array; mutable n : int }
+
+let total_outputs p =
+  Array.fold_left
+    (fun acc (op : Program.op) ->
+      acc + List.length (Spec.node p.Program.spec op.node).Spec.outputs)
+    0 p.Program.ops
+
+let initial_env p = { values = Array.make (max 1 (total_outputs p)) 0; n = 0 }
+
+let copy_env e = { values = Array.copy e.values; n = e.n }
+
+let snapshot_op_index (p : Program.t) =
+  let rec scan i =
+    if i >= Array.length p.ops then None
+    else if p.ops.(i).Program.node = Spec.snapshot_node_id then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let push env v =
+  if env.n >= Array.length env.values then begin
+    let bigger = Array.make (max 8 (2 * Array.length env.values)) 0 in
+    Array.blit env.values 0 bigger 0 env.n;
+    env.values <- bigger
+  end;
+  env.values.(env.n) <- v;
+  env.n <- env.n + 1
+
+let exec_op (p : Program.t) h env i =
+  let op = p.ops.(i) in
+  let nt = Spec.node p.spec op.Program.node in
+  if nt.Spec.nt_id = Spec.snapshot_node_id then h.snapshot ()
+  else begin
+    let inputs = Array.to_list (Array.map (fun idx -> env.values.(idx)) op.Program.args) in
+    let outputs = h.exec nt inputs op.Program.data in
+    if List.length outputs <> List.length nt.Spec.outputs then
+      invalid_arg (Printf.sprintf "Interp: handler for %s returned wrong output count"
+                     nt.Spec.nt_name);
+    List.iter (push env) outputs
+  end
+
+let run ?(from = 0) ?env (p : Program.t) h =
+  let env = match env with Some e -> e | None -> initial_env p in
+  for i = from to Array.length p.ops - 1 do
+    exec_op p h env i
+  done;
+  env
+
+let run_until_snapshot (p : Program.t) h =
+  match snapshot_op_index p with
+  | None -> None
+  | Some snap ->
+    let env = initial_env p in
+    for i = 0 to snap do
+      exec_op p h env i
+    done;
+    Some (snap + 1, env)

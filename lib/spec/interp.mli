@@ -1,0 +1,36 @@
+(** The bytecode interpreter — the auto-generated "custom VM" of §2.2.
+
+    Runs a program against the executor's opcode handlers. Handler-domain
+    values (connection flow ids, etc.) are plain integers stored in an
+    environment indexed by the program's value numbering, so execution can
+    be split at the snapshot opcode: run the prefix, let the engine take an
+    incremental snapshot, and later re-run only the suffix against the
+    captured environment. *)
+
+type handlers = {
+  exec : Spec.node_ty -> int list -> bytes array -> int list;
+      (** [exec node inputs data] performs one interaction and returns the
+          handler-domain values for the node's outputs. *)
+  snapshot : unit -> unit;
+      (** Invoked for the snapshot opcode (the agent's hypercall). *)
+}
+
+type env
+(** Value environment: handler values produced so far. *)
+
+val initial_env : Program.t -> env
+val copy_env : env -> env
+
+val snapshot_op_index : Program.t -> int option
+(** Index in [ops] of the snapshot opcode. *)
+
+val run : ?from:int -> ?env:env -> Program.t -> handlers -> env
+(** Execute ops starting at index [from] (default 0) in the given
+    environment (default fresh). Returns the final environment. Exceptions
+    from handlers (crashes, protocol errors) propagate. *)
+
+val run_until_snapshot : Program.t -> handlers -> (int * env) option
+(** Execute the prefix up to and including the snapshot opcode; returns
+    the index of the first suffix op and the environment at the snapshot
+    point, or [None] when the program has no snapshot opcode (in which
+    case nothing is executed). *)

@@ -1,0 +1,100 @@
+open Nyx_sim
+
+(* Pick a node type able to carry data (for fresh-op append); falls back to
+   any non-snapshot node. *)
+let random_node rng spec =
+  let all = Spec.nodes spec in
+  let candidates =
+    Array.of_seq
+      (Seq.filter (fun (nt : Spec.node_ty) -> nt.Spec.nt_id <> Spec.snapshot_node_id)
+         (Array.to_seq all))
+  in
+  if Array.length candidates = 0 then None else Some (Rng.choose rng candidates)
+
+let fresh_op rng spec =
+  match random_node rng spec with
+  | None -> None
+  | Some nt ->
+    let data =
+      Array.of_list
+        (List.map
+           (fun (dt : Spec.data_ty) ->
+             Rng.bytes rng (Rng.int rng (min 64 (dt.Spec.max_len + 1))))
+           nt.Spec.data)
+    in
+    (* Args are placeholders; repair binds them to real values. *)
+    let nargs = List.length nt.Spec.borrows + List.length nt.Spec.consumes in
+    Some { Program.node = nt.Spec.nt_id; args = Array.make nargs 0; data }
+
+let havoc_op rng dict (op : Program.op) spec =
+  let nt = Spec.node spec op.Program.node in
+  if Array.length op.Program.data = 0 then op
+  else begin
+    let i = Rng.int rng (Array.length op.Program.data) in
+    let dt = List.nth nt.Spec.data i in
+    let data = Array.copy op.Program.data in
+    data.(i) <- Havoc.mutate rng ~dict ~max_len:dt.Spec.max_len data.(i);
+    { op with Program.data }
+  end
+
+let mutate rng ?(frozen = 0) ?(max_ops = 24) ?(dict = []) ?(corpus = [||]) (p : Program.t) =
+  let frozen = min frozen (Array.length p.Program.ops) in
+  let prefix = Array.sub p.Program.ops 0 frozen in
+  let suffix = ref (Array.to_list (Array.sub p.Program.ops frozen
+                                     (Array.length p.Program.ops - frozen))) in
+  (* Drop stray snapshot ops from the mutable region; policies re-inject. *)
+  suffix := List.filter (fun op -> op.Program.node <> Spec.snapshot_node_id) !suffix;
+  let n_rounds = 1 + Rng.int rng 4 in
+  for _ = 1 to n_rounds do
+    let ops = Array.of_list !suffix in
+    let n = Array.length ops in
+    let choice = Rng.weighted rng
+        [ (`Havoc, 5.0); (`Dup, 1.0); (`Del, 1.0); (`Swap, 1.0); (`Splice, 1.5); (`Append, 1.0) ]
+    in
+    suffix :=
+      (match choice with
+      | `Havoc when n > 0 ->
+        let i = Rng.int rng n in
+        Array.to_list (Array.mapi (fun j op ->
+            if j = i then havoc_op rng dict op p.Program.spec else op) ops)
+      | `Dup when n > 0 ->
+        let i = Rng.int rng n in
+        let rec insert j = function
+          | [] -> []
+          | op :: rest -> if j = i then op :: op :: rest else op :: insert (j + 1) rest
+        in
+        insert 0 !suffix
+      | `Del when n > 1 ->
+        let i = Rng.int rng n in
+        List.filteri (fun j _ -> j <> i) !suffix
+      | `Swap when n > 1 ->
+        let i = Rng.int rng (n - 1) in
+        let a = ops.(i) in
+        ops.(i) <- ops.(i + 1);
+        ops.(i + 1) <- a;
+        Array.to_list ops
+      | `Splice when Array.length corpus > 0 ->
+        let donor = Rng.choose rng corpus in
+        let donor_ops =
+          Array.to_list donor.Program.ops
+          |> List.filter (fun op -> op.Program.node <> Spec.snapshot_node_id)
+        in
+        let keep = if n = 0 then 0 else Rng.int rng (n + 1) in
+        let dlen = List.length donor_ops in
+        let from = if dlen = 0 then 0 else Rng.int rng dlen in
+        List.filteri (fun j _ -> j < keep) !suffix
+        @ List.filteri (fun j _ -> j >= from) donor_ops
+      | `Append -> (
+        match fresh_op rng p.Program.spec with
+        | Some op -> !suffix @ [ op ]
+        | None -> !suffix)
+      | _ -> !suffix)
+  done;
+  (* Cap total length: keep the frozen prefix, trim the suffix tail. *)
+  let room = max 0 (max_ops - Array.length prefix) in
+  if List.length !suffix > room then
+    suffix := List.filteri (fun i _ -> i < room) !suffix;
+  let candidate =
+    { p with Program.ops = Array.append prefix (Array.of_list !suffix) }
+  in
+  Program.repair ~rng candidate

@@ -1,0 +1,23 @@
+(** Packet-aware program mutation — the auto-generated "custom mutators"
+    of §2.2.
+
+    Mutations respect opcode structure: payload havoc inside one packet,
+    opcode duplication/deletion/swap, splicing suffixes from other corpus
+    entries, and appending fresh opcodes. A [frozen] prefix of ops is left
+    untouched — this is how fuzzing "only the last 20 packets" behind an
+    incremental snapshot works (§3.4): the executor freezes everything up
+    to the snapshot opcode. Results are repaired and always validate. *)
+
+val mutate :
+  Nyx_sim.Rng.t ->
+  ?frozen:int ->
+  ?max_ops:int ->
+  ?dict:bytes list ->
+  ?corpus:Program.t array ->
+  Program.t ->
+  Program.t
+(** [frozen] is a count of leading ops preserved verbatim (default 0).
+    [max_ops] caps the result's length (default 24, like AFL's input size
+    cap) — without it splice/append growth compounds across generations.
+    The snapshot opcode, if present in the input, is preserved only when
+    inside the frozen prefix; policies re-inject it afterwards. *)

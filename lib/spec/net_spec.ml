@@ -1,0 +1,50 @@
+type t = {
+  spec : Spec.t;
+  connect : Spec.node_ty;
+  packet : Spec.node_ty;
+  close : Spec.node_ty;
+  conn : Spec.edge_ty;
+  payload : Spec.data_ty;
+}
+
+let create ?(max_payload = 4096) () =
+  let b = Spec.start "raw-network" in
+  let conn = Spec.edge_type b "connection" in
+  let payload = Spec.data_type b ~max_len:max_payload "payload" in
+  let connect = Spec.node_type b ~outputs:[ conn ] "connect" in
+  let packet = Spec.node_type b ~borrows:[ conn ] ~data:[ payload ] "packet" in
+  let close = Spec.node_type b ~consumes:[ conn ] "close" in
+  { spec = Spec.finalize b; connect; packet; close; conn; payload }
+
+let seed_of_packets t payloads =
+  let b = Builder.create t.spec in
+  match Builder.call b "connect" [] with
+  | [ con ] ->
+    List.iter (fun p -> ignore (Builder.call b "packet" ~data:[ p ] [ con ])) payloads;
+    Builder.build b
+  | _ -> assert false
+
+let seed_of_connections t conns =
+  let b = Builder.create t.spec in
+  let handles =
+    List.map
+      (fun packets ->
+        match Builder.call b "connect" [] with
+        | [ con ] -> (con, ref packets)
+        | _ -> assert false)
+      conns
+  in
+  (* Round-robin interleave so the seed exercises concurrent flows. *)
+  let remaining = ref (List.length (List.concat conns)) in
+  while !remaining > 0 do
+    List.iter
+      (fun (con, packets) ->
+        match !packets with
+        | [] -> ()
+        | p :: rest ->
+          ignore (Builder.call b "packet" ~data:[ p ] [ con ]);
+          packets := rest;
+          decr remaining)
+      handles
+  done;
+  Builder.build b

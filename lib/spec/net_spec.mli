@@ -1,0 +1,28 @@
+(** The generic raw-packet network specification.
+
+    The paper notes that for network targets the spec is usually trivial
+    (§2.2): hook the first connection on a given port and deliver raw
+    packets. This module provides that default spec — [connect] produces a
+    connection handle, [packet] borrows one and carries a payload,
+    [close] consumes the handle — which also covers multi-connection
+    targets such as Firefox IPC (Listing 1). *)
+
+type t = {
+  spec : Spec.t;
+  connect : Spec.node_ty;
+  packet : Spec.node_ty;
+  close : Spec.node_ty;
+  conn : Spec.edge_ty;
+  payload : Spec.data_ty;
+}
+
+val create : ?max_payload:int -> unit -> t
+(** [max_payload] defaults to 4096. *)
+
+val seed_of_packets : t -> bytes list -> Program.t
+(** One connection, one [packet] op per payload — the shape produced by
+    the PCAP importer for single-connection protocols. *)
+
+val seed_of_connections : t -> bytes list list -> Program.t
+(** One connection per outer list element, packets interleaved in round
+    robin — multi-connection seeds. *)

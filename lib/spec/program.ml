@@ -1,0 +1,296 @@
+type op = { node : int; args : int array; data : bytes array }
+type t = { spec : Spec.t; ops : op array }
+
+let op_inputs (nt : Spec.node_ty) = nt.Spec.borrows @ nt.Spec.consumes
+
+let validate t =
+  let open Spec in
+  let exception Bad of string in
+  try
+    let value_types = ref [] (* newest first: (index, edge_ty, consumed ref) *) in
+    let n_values = ref 0 in
+    let snapshots = ref 0 in
+    Array.iteri
+      (fun opi op ->
+        let nt =
+          try Spec.node t.spec op.node
+          with Invalid_argument m -> raise (Bad m)
+        in
+        if nt.nt_id = Spec.snapshot_node_id then begin
+          incr snapshots;
+          if !snapshots > 1 then raise (Bad "multiple snapshot opcodes");
+          if Array.length op.args <> 0 || Array.length op.data <> 0 then
+            raise (Bad "snapshot opcode carries no args or data")
+        end;
+        let inputs = op_inputs nt in
+        if Array.length op.args <> List.length inputs then
+          raise (Bad (Printf.sprintf "op %d (%s): wrong arity" opi nt.nt_name));
+        List.iteri
+          (fun i expected ->
+            let idx = op.args.(i) in
+            if idx < 0 || idx >= !n_values then
+              raise (Bad (Printf.sprintf "op %d (%s): arg %d out of range" opi nt.nt_name i));
+            let _, ty, consumed =
+              List.find (fun (v, _, _) -> v = idx) !value_types
+            in
+            if !consumed then
+              raise (Bad (Printf.sprintf "op %d (%s): value %d already consumed" opi nt.nt_name idx));
+            if ty.et_id <> expected.et_id then
+              raise
+                (Bad
+                   (Printf.sprintf "op %d (%s): arg %d has type %s, expected %s" opi
+                      nt.nt_name i ty.et_name expected.et_name)))
+          inputs;
+        (* Mark consumed inputs. *)
+        let n_borrows = List.length nt.borrows in
+        List.iteri
+          (fun i _ ->
+            let idx = op.args.(n_borrows + i) in
+            let _, _, consumed = List.find (fun (v, _, _) -> v = idx) !value_types in
+            consumed := true)
+          nt.consumes;
+        if Array.length op.data <> List.length nt.data then
+          raise (Bad (Printf.sprintf "op %d (%s): wrong data field count" opi nt.nt_name));
+        List.iteri
+          (fun i dt ->
+            if Bytes.length op.data.(i) > dt.max_len then
+              raise
+                (Bad (Printf.sprintf "op %d (%s): data field %d too long" opi nt.nt_name i)))
+          nt.data;
+        List.iter
+          (fun ty ->
+            value_types := (!n_values, ty, ref false) :: !value_types;
+            incr n_values)
+          nt.outputs)
+      t.ops;
+    Ok ()
+  with Bad m -> Error m
+
+let packet_count t =
+  Array.fold_left
+    (fun acc op -> if op.node = Spec.snapshot_node_id then acc else acc + 1)
+    0 t.ops
+
+let snapshot_index t =
+  let rec scan i packets =
+    if i >= Array.length t.ops then None
+    else if t.ops.(i).node = Spec.snapshot_node_id then Some packets
+    else scan (i + 1) (packets + 1)
+  in
+  scan 0 0
+
+let strip_snapshots t =
+  { t with ops = Array.of_seq (Seq.filter (fun op -> op.node <> Spec.snapshot_node_id)
+                                 (Array.to_seq t.ops)) }
+
+let with_snapshot_at t i =
+  let t = strip_snapshots t in
+  let i = max 0 (min i (Array.length t.ops)) in
+  let snap = { node = Spec.snapshot_node_id; args = [||]; data = [||] } in
+  let ops =
+    Array.concat [ Array.sub t.ops 0 i; [| snap |]; Array.sub t.ops i (Array.length t.ops - i) ]
+  in
+  { t with ops }
+
+let repair ?rng t =
+  let open Spec in
+  let available = ref [] (* (value index, edge_ty), newest first, unconsumed *) in
+  let n_values = ref 0 in
+  let out = ref [] in
+  let pick ty =
+    let candidates = List.filter (fun (_, et) -> et.et_id = ty.et_id) !available in
+    match candidates with
+    | [] -> None
+    | first :: _ -> (
+      match rng with
+      | None -> Some (fst first)
+      | Some rng -> Some (fst (Nyx_sim.Rng.choose_list rng candidates)))
+  in
+  Array.iter
+    (fun op ->
+      match Spec.node t.spec op.node with
+      | exception Invalid_argument _ -> () (* unknown opcode: drop *)
+      | nt ->
+        let inputs = op_inputs nt in
+        let n_borrows = List.length nt.borrows in
+        (* Try to keep existing bindings when they are still valid, fixing
+           only the broken ones. Consumed slots must bind distinct values. *)
+        let chosen = ref [] in
+        let consumed_here = ref [] in
+        let ok =
+          List.for_all
+            (fun (i, expected) ->
+              let is_consume = i >= n_borrows in
+              let usable v =
+                List.exists (fun (v', et) -> v' = v && et.et_id = expected.et_id) !available
+                && not (List.mem v !consumed_here)
+              in
+              let current = if i < Array.length op.args then op.args.(i) else -1 in
+              let binding =
+                if usable current then Some current
+                else
+                  match pick expected with
+                  | Some v when usable v -> Some v
+                  | _ ->
+                    (* The random pick may collide with a value consumed by
+                       an earlier slot of this op; fall back to the newest
+                       usable one. *)
+                    List.find_opt (fun (v, _) -> usable v) !available
+                    |> Option.map fst
+              in
+              match binding with
+              | None -> false
+              | Some v ->
+                chosen := !chosen @ [ v ];
+                if is_consume then consumed_here := v :: !consumed_here;
+                true)
+            (List.mapi (fun i e -> (i, e)) inputs)
+        in
+        if ok then begin
+          let args = Array.of_list !chosen in
+          (* Consumed values leave the available pool. *)
+          let n_borrows = List.length nt.borrows in
+          List.iteri
+            (fun i _ ->
+              let v = args.(n_borrows + i) in
+              available := List.filter (fun (v', _) -> v' <> v) !available)
+            nt.consumes;
+          let data =
+            Array.of_list
+              (List.mapi
+                 (fun i dt ->
+                   let d = if i < Array.length op.data then op.data.(i) else Bytes.empty in
+                   if Bytes.length d > dt.max_len then Bytes.sub d 0 dt.max_len else d)
+                 nt.data)
+          in
+          List.iter
+            (fun ty ->
+              available := (!n_values, ty) :: !available;
+              incr n_values)
+            nt.outputs;
+          out := { node = op.node; args; data } :: !out
+        end
+        else
+          (* Op dropped: still account for the values it would have produced
+             so later indices stay consistent? No — later args are rebound
+             against the real pool, so nothing else is needed. *)
+          ())
+    t.ops;
+  let repaired = { t with ops = Array.of_list (List.rev !out) } in
+  (* Deduplicate snapshot ops: keep the first. *)
+  match validate repaired with
+  | Ok () -> repaired
+  | Error _ ->
+    let seen_snapshot = ref false in
+    let ops =
+      Array.of_seq
+        (Seq.filter
+           (fun op ->
+             if op.node = Spec.snapshot_node_id then
+               if !seen_snapshot then false
+               else begin
+                 seen_snapshot := true;
+                 true
+               end
+             else true)
+           (Array.to_seq repaired.ops))
+    in
+    { repaired with ops }
+
+(* Wire format *)
+
+let magic = "NYXB1"
+
+let serialize t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  let add_u32 v =
+    Buffer.add_char buf (Char.chr (v land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+  in
+  let add_u16 v =
+    Buffer.add_char buf (Char.chr (v land 0xff));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+  in
+  add_u32 (Array.length t.ops);
+  Array.iter
+    (fun op ->
+      add_u16 op.node;
+      Buffer.add_char buf (Char.chr (Array.length op.args land 0xff));
+      Array.iter add_u32 op.args;
+      Buffer.add_char buf (Char.chr (Array.length op.data land 0xff));
+      Array.iter
+        (fun d ->
+          add_u32 (Bytes.length d);
+          Buffer.add_bytes buf d)
+        op.data)
+    t.ops;
+  Buffer.to_bytes buf
+
+let parse spec b =
+  let exception Bad of string in
+  let pos = ref 0 in
+  let len = Bytes.length b in
+  let u8 () =
+    if !pos >= len then raise (Bad "truncated");
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let u16 () = let lo = u8 () in lo lor (u8 () lsl 8) in
+  let u32 () =
+    let a = u8 () in
+    let b' = u8 () in
+    let c = u8 () in
+    let d = u8 () in
+    a lor (b' lsl 8) lor (c lsl 16) lor (d lsl 24)
+  in
+  try
+    if len < String.length magic || Bytes.sub_string b 0 (String.length magic) <> magic
+    then raise (Bad "bad magic");
+    pos := String.length magic;
+    let n_ops = u32 () in
+    if n_ops > 1_000_000 then raise (Bad "unreasonable op count");
+    let ops =
+      Array.init n_ops (fun _ ->
+          let node = u16 () in
+          let nargs = u8 () in
+          let args = Array.init nargs (fun _ -> u32 ()) in
+          let ndata = u8 () in
+          let data =
+            Array.init ndata (fun _ ->
+                let dlen = u32 () in
+                if !pos + dlen > len then raise (Bad "truncated data");
+                let d = Bytes.sub b !pos dlen in
+                pos := !pos + dlen;
+                d)
+          in
+          { node; args; data })
+    in
+    if !pos <> len then raise (Bad "trailing bytes");
+    let t = { spec; ops } in
+    match validate t with Ok () -> Ok t | Error m -> Error m
+  with Bad m -> Error m
+
+let pp ppf t =
+  Array.iteri
+    (fun i op ->
+      let nt = Spec.node t.spec op.node in
+      let args = String.concat ", " (List.map string_of_int (Array.to_list op.args)) in
+      let data =
+        String.concat " "
+          (List.map
+             (fun d ->
+               let s = Bytes.to_string d in
+               let printable =
+                 String.map (fun c -> if c >= ' ' && c < '\127' then c else '.') s
+               in
+               Printf.sprintf "%S" (if String.length printable > 40
+                                    then String.sub printable 0 40 ^ "..."
+                                    else printable))
+             (Array.to_list op.data))
+      in
+      Format.fprintf ppf "%3d: %s(%s) %s@." i nt.Spec.nt_name args data)
+    t.ops

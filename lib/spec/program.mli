@@ -1,0 +1,46 @@
+(** Bytecode programs: sequences of opcodes over a {!Spec.t}.
+
+    A program is the fuzzer's test case: the flat serialized form is what
+    lives in the corpus, and the structured form is what the interpreter
+    executes and the mutators edit. Executing ops produces a global
+    sequence of values; argument slots refer to earlier values by index.
+    The [snapshot] opcode (node 0) may appear at most once and delimits
+    the prefix executed before the incremental snapshot is taken. *)
+
+type op = { node : int; args : int array; data : bytes array }
+
+type t = { spec : Spec.t; ops : op array }
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: known nodes, arity, argument indices in
+    range and type-correct, affine use (a consumed value is never used
+    again), data lengths within bounds, at most one snapshot opcode. *)
+
+val packet_count : t -> int
+(** Number of ops excluding snapshot opcodes — the "input length" used by
+    the snapshot placement policies. *)
+
+val snapshot_index : t -> int option
+(** Number of non-snapshot ops preceding the snapshot opcode, if present. *)
+
+val with_snapshot_at : t -> int -> t
+(** [with_snapshot_at p i] strips existing snapshot ops and inserts one
+    after the first [i] packets. [i = 0] yields a leading snapshot;
+    [i >= packet_count p] places it after the last packet (clamped). *)
+
+val strip_snapshots : t -> t
+
+val repair : ?rng:Nyx_sim.Rng.t -> t -> t
+(** Rebind dangling or type-incorrect argument indices to available values
+    of the right type (most recent by default, random with [rng]) and drop
+    ops whose inputs cannot be satisfied; clamp oversized data. The result
+    always passes {!validate}. *)
+
+(** {1 Wire format} *)
+
+val serialize : t -> bytes
+val parse : Spec.t -> bytes -> (t, string) result
+(** Parses and validates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing, e.g. for crash reports. *)

@@ -1,0 +1,29 @@
+let config =
+  {
+    Ftp_common.name = "bftpd";
+    banner = "220 bftpd ready";
+    require_auth = true;
+    commands = Ftp_common.standard_commands;
+    special = None;
+  }
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name = "bftpd";
+        role = Target.Server;
+        port = 21;
+        proto = Nyx_netemu.Net.Tcp;
+        dissector = Nyx_pcap.Dissector.Crlf;
+        startup_ns = 30_000_000;
+        work_ns = 300_000;
+        desock_compat = false;
+        forking = false;
+        max_recv = 1024;
+        dict = [ "USER"; "PASS"; "TYPE I"; "PASV"; "PORT"; "RETR"; "STOR"; "CWD"; "SITE"; "REST"; "anonymous" ];
+      };
+    hooks = Ftp_common.hooks config;
+  }
+
+let seeds = [ List.map Bytes.of_string Ftp_common.sample_session ]

@@ -1,0 +1,5 @@
+(** bftpd analogue: a small FTP server with the standard command set and
+    no known bugs — a pure coverage target. *)
+
+val target : Target.t
+val seeds : bytes list list

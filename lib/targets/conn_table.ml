@@ -1,0 +1,57 @@
+let capacity = 32
+
+(* Layout: [count:i32][ (key:i32, addr:i32) x capacity ]; free slots have
+   key = -1. State blocks are allocated once and zeroed on insert. *)
+type t = { ctx : Ctx.t; table : int; blocks : int array; state_size : int }
+
+let entry_off i = 4 + (i * 8)
+
+let create ctx ~conn_state_size =
+  let heap = ctx.Ctx.heap in
+  let table = Nyx_vm.Guest_heap.alloc heap (4 + (capacity * 8)) in
+  let blocks =
+    Array.init capacity (fun _ -> Nyx_vm.Guest_heap.alloc heap conn_state_size)
+  in
+  for i = 0 to capacity - 1 do
+    Nyx_vm.Guest_heap.set_i32 heap (table + entry_off i) (-1)
+  done;
+  { ctx; table; blocks; state_size = conn_state_size }
+
+let heap t = t.ctx.Ctx.heap
+
+let key_at t i = Nyx_vm.Guest_heap.get_i32 (heap t) (t.table + entry_off i)
+
+let insert t ~key =
+  let rec scan i =
+    if i >= capacity then None else if key_at t i = -1 then Some i else scan (i + 1)
+  in
+  match scan 0 with
+  | None -> None
+  | Some slot ->
+    let h = heap t in
+    Nyx_vm.Guest_heap.set_i32 h (t.table + entry_off slot) key;
+    Nyx_vm.Guest_heap.set_i32 h (t.table + entry_off slot + 4) t.blocks.(slot);
+    Nyx_vm.Guest_heap.set_i32 h t.table (Nyx_vm.Guest_heap.get_i32 h t.table + 1);
+    (* Zero the state block for the new connection. *)
+    Nyx_vm.Guest_heap.set_bytes h t.blocks.(slot) (Bytes.make t.state_size '\000');
+    Some t.blocks.(slot)
+
+let find t ~key =
+  let rec scan i =
+    if i >= capacity then None
+    else if key_at t i = key then
+      Some (Nyx_vm.Guest_heap.get_i32 (heap t) (t.table + entry_off i + 4))
+    else scan (i + 1)
+  in
+  scan 0
+
+let remove t ~key =
+  let h = heap t in
+  for i = 0 to capacity - 1 do
+    if key_at t i = key then begin
+      Nyx_vm.Guest_heap.set_i32 h (t.table + entry_off i) (-1);
+      Nyx_vm.Guest_heap.set_i32 h t.table (Nyx_vm.Guest_heap.get_i32 h t.table - 1)
+    end
+  done
+
+let count t = Nyx_vm.Guest_heap.get_i32 (heap t) t.table

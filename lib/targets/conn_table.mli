@@ -1,0 +1,26 @@
+(** Per-connection state table, stored in guest memory.
+
+    Servers key per-connection protocol state by descriptor (TCP) or flow
+    (UDP). The table lives in the guest heap so snapshot restore rolls it
+    back together with the connections it describes. *)
+
+type t
+
+val capacity : int
+(** Maximum simultaneous connections (32). *)
+
+val create : Ctx.t -> conn_state_size:int -> t
+(** Allocates the table and [capacity] state blocks up front (how real
+    servers preallocate connection slots). *)
+
+val insert : t -> key:int -> int option
+(** Claim a slot for [key]; returns the guest address of its (zeroed)
+    state block, or [None] when the table is full (the server then
+    refuses the connection, as real ones do). *)
+
+val find : t -> key:int -> int option
+(** Guest address of the state block for [key]. *)
+
+val remove : t -> key:int -> unit
+
+val count : t -> int

@@ -1,0 +1,72 @@
+let map_size = 65536
+
+type t = { map : Bytes.t; mutable prev : int }
+
+let create () = { map = Bytes.make map_size '\000'; prev = 0 }
+
+let reset t =
+  Bytes.fill t.map 0 map_size '\000';
+  t.prev <- 0
+
+let hit t site =
+  let site = site land (map_size - 1) in
+  let idx = (site lxor t.prev) land (map_size - 1) in
+  let c = Char.code (Bytes.get t.map idx) in
+  if c < 255 then Bytes.set t.map idx (Char.chr (c + 1));
+  t.prev <- site lsr 1
+
+(* AFL's hit-count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+. *)
+let bucket c =
+  if c = 0 then 0
+  else if c = 1 then 1
+  else if c = 2 then 2
+  else if c = 3 then 4
+  else if c <= 7 then 8
+  else if c <= 15 then 16
+  else if c <= 31 then 32
+  else if c <= 127 then 64
+  else 128
+
+let edge_count t =
+  let n = ref 0 in
+  for i = 0 to map_size - 1 do
+    if Bytes.get t.map i <> '\000' then incr n
+  done;
+  !n
+
+let iter_hits t f =
+  for i = 0 to map_size - 1 do
+    let c = Char.code (Bytes.get t.map i) in
+    if c <> 0 then f i (bucket c)
+  done
+
+type checkpoint = { saved_map : Bytes.t; saved_prev : int }
+
+let save t = { saved_map = Bytes.copy t.map; saved_prev = t.prev }
+
+let restore t cp =
+  Bytes.blit cp.saved_map 0 t.map 0 map_size;
+  t.prev <- cp.saved_prev
+
+module Cumulative = struct
+  type nonrec t = Bytes.t (* accumulated bucket bits per cell *)
+
+  let create () = Bytes.make map_size '\000'
+
+  let merge virgin cov =
+    let novel = ref false in
+    iter_hits cov (fun i b ->
+        let seen = Char.code (Bytes.get virgin i) in
+        if seen lor b <> seen then begin
+          novel := true;
+          Bytes.set virgin i (Char.chr (seen lor b))
+        end);
+    !novel
+
+  let edge_count virgin =
+    let n = ref 0 in
+    for i = 0 to map_size - 1 do
+      if Bytes.get virgin i <> '\000' then incr n
+    done;
+    !n
+end

@@ -1,0 +1,51 @@
+(** AFL-style edge-coverage bitmap (§4.5 compile-time coverage).
+
+    Targets are "compiled" with instrumentation callbacks at branch sites;
+    each callback hashes the site id with the previous location into a
+    64 KiB map, exactly like AFL's shared-memory bitmap that Nyx-Net
+    redirects into QEMU's shared memory. *)
+
+val map_size : int
+(** 65536. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Clear per-execution state (map and previous-location register). *)
+
+val hit : t -> int -> unit
+(** [hit t site] records an edge from the previous site to [site]
+    (saturating 8-bit hit counts). *)
+
+val edge_count : t -> int
+(** Distinct map cells hit this execution. *)
+
+val iter_hits : t -> (int -> int -> unit) -> unit
+(** [iter_hits t f] calls [f index bucketed_count] for each hit cell,
+    with AFL's logarithmic hit-count bucketing applied. *)
+
+type checkpoint
+
+val save : t -> checkpoint
+(** Capture the per-execution map state — used when an incremental
+    snapshot is taken so suffix executions replay the prefix coverage. *)
+
+val restore : t -> checkpoint -> unit
+
+(** Cumulative "virgin" map across a campaign. *)
+module Cumulative : sig
+  type cov := t
+  type t
+
+  val create : unit -> t
+
+  val merge : t -> cov -> bool
+  (** Fold one execution's map in; [true] if it contributed any new
+      coverage (new cell or new hit-count bucket). *)
+
+  val edge_count : t -> int
+  (** Distinct cells ever hit — the "branch coverage" metric of
+      Table 2. *)
+end

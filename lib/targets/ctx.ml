@@ -1,0 +1,37 @@
+type t = {
+  heap : Nyx_vm.Guest_heap.t;
+  net : Nyx_netemu.Net.t;
+  disk : Nyx_vm.Disk.t;
+  cov : Coverage.t;
+  clock : Nyx_sim.Clock.t;
+  asan : bool;
+  layout_cookie : int;
+  mutable state_code : int;
+}
+
+exception Crash of { kind : string; detail : string }
+
+let create ?(asan = false) ?(layout_cookie = 0) ~heap ~net ~disk clock =
+  { heap; net; disk; cov = Coverage.create (); clock; asan; layout_cookie; state_code = 0 }
+
+let of_vm ?asan ?layout_cookie ~net (vm : Nyx_vm.Vm.t) =
+  create ?asan ?layout_cookie ~heap:vm.Nyx_vm.Vm.heap ~net ~disk:vm.Nyx_vm.Vm.disk
+    vm.Nyx_vm.Vm.clock
+
+let hit t site =
+  Nyx_sim.Clock.advance t.clock Nyx_sim.Cost.edge;
+  Coverage.hit t.cov (Hashtbl.hash site)
+
+let hit_id t site =
+  Nyx_sim.Clock.advance t.clock Nyx_sim.Cost.edge;
+  Coverage.hit t.cov site
+
+let branch t site cond =
+  hit t (if cond then site ^ ":T" else site ^ ":F");
+  cond
+
+let crash _t ~kind detail = raise (Crash { kind; detail })
+
+let work t ns = Nyx_sim.Clock.advance t.clock ns
+
+let set_state t code = t.state_code <- code

@@ -1,0 +1,153 @@
+open Nyx_vm
+
+let name = "forked-daapd"
+let site s = name ^ "/" ^ s
+
+let f_requests = 0
+
+let routes =
+  [
+    ("/server-info", "srvr");
+    ("/login", "logi");
+    ("/update", "mupd");
+    ("/databases", "avdb");
+    ("/content-codes", "mccr");
+    ("/logout", "");
+  ]
+
+let parse_query ctx query =
+  String.split_on_char '&' query
+  |> List.iter (fun kv ->
+         match String.index_opt kv '=' with
+         | None -> Ctx.hit ctx (site "query:flag")
+         | Some i -> (
+           let key = String.sub kv 0 i in
+           match key with
+           | "session-id" -> (
+             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+             match Proto_util.int_of_string_bounded ~max:1_000_000 v with
+             | Some _ -> Ctx.hit ctx (site "query:session-ok")
+             | None -> Ctx.hit ctx (site "query:session-bad"))
+           | "revision-number" -> Ctx.hit ctx (site "query:revision")
+           | "meta" -> Ctx.hit ctx (site "query:meta")
+           | "type" -> Ctx.hit ctx (site "query:type")
+           | _ -> Ctx.hit ctx (site "query:other")))
+
+let on_packet ctx ~g:_ ~conn ~reply data =
+  let heap = ctx.Ctx.heap in
+  Ctx.hit ctx (site "packet");
+  Guest_heap.set_i32 heap (conn + f_requests)
+    (Guest_heap.get_i32 heap (conn + f_requests) + 1);
+  let text = Bytes.to_string data in
+  let r code reason body =
+    Ctx.set_state ctx code;
+    reply
+      (Bytes.of_string
+         (Printf.sprintf "HTTP/1.1 %d %s\r\nContent-Length: %d\r\n\r\n%s" code reason
+            (String.length body) body))
+  in
+  match String.split_on_char '\n' text |> List.map String.trim with
+  | [] -> Ctx.hit ctx (site "empty")
+  | request_line :: headers -> (
+    match Proto_util.tokens request_line with
+    | meth :: url :: _ -> (
+      let meth = Proto_util.upper meth in
+      (* Headers: Host, User-Agent, Accept-Encoding drive branches. *)
+      List.iter
+        (fun h ->
+          match Proto_util.header_value ~name:"User-Agent" h with
+          | Some ua ->
+            ignore
+              (Ctx.branch ctx (site "ua:itunes") (Proto_util.starts_with_ci ~prefix:"iTunes" ua))
+          | None -> (
+            match Proto_util.header_value ~name:"Accept-Encoding" h with
+            | Some enc ->
+              ignore (Ctx.branch ctx (site "enc:gzip") (String.length enc > 0
+                                                        && String.contains enc 'g'))
+            | None -> ()))
+        headers;
+      let path, query =
+        match String.index_opt url '?' with
+        | None -> (url, "")
+        | Some i -> (String.sub url 0 i, String.sub url (i + 1) (String.length url - i - 1))
+      in
+      if query <> "" then parse_query ctx query;
+      match meth with
+      | "GET" -> (
+        Ctx.hit ctx (site "method:get");
+        (* Database items route: /databases/<n>/items *)
+        if Ctx.branch ctx (site "route:db-items")
+             (Proto_util.starts_with_ci ~prefix:"/databases/" path
+             && String.length path > 11)
+        then begin
+          let rest = String.sub path 11 (String.length path - 11) in
+          (match String.index_opt rest '/' with
+          | Some i -> (
+            let dbid = String.sub rest 0 i in
+            match Proto_util.int_of_string_bounded ~max:100 dbid with
+            | Some _ ->
+              Ctx.hit ctx (site "db:id-ok");
+              let sub = String.sub rest i (String.length rest - i) in
+              if Ctx.branch ctx (site "db:items") (Proto_util.starts_with_ci ~prefix:"/items" sub)
+              then r 200 "OK" "adbs"
+              else if Ctx.branch ctx (site "db:containers")
+                        (Proto_util.starts_with_ci ~prefix:"/containers" sub)
+              then r 200 "OK" "aply"
+              else r 404 "Not Found" ""
+            | None ->
+              Ctx.hit ctx (site "db:id-bad");
+              r 400 "Bad Request" "")
+          | None -> r 200 "OK" "avdb")
+        end
+        else begin
+          match List.assoc_opt path routes with
+          | Some body ->
+            Ctx.hit ctx (site ("route:" ^ path));
+            r 200 "OK" body
+          | None ->
+            Ctx.hit ctx (site "route:unknown");
+            r 404 "Not Found" ""
+        end)
+      | "POST" ->
+        Ctx.hit ctx (site "method:post");
+        if Ctx.branch ctx (site "post:ctrl") (Proto_util.starts_with_ci ~prefix:"/ctrl-int" path)
+        then r 204 "No Content" ""
+        else r 405 "Method Not Allowed" ""
+      | "HEAD" ->
+        Ctx.hit ctx (site "method:head");
+        r 200 "OK" ""
+      | _ ->
+        Ctx.hit ctx (site "method:other");
+        r 501 "Not Implemented" "")
+    | _ ->
+      Ctx.hit ctx (site "reqline:malformed");
+      r 400 "Bad Request" "")
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 3689;
+        proto = Nyx_netemu.Net.Tcp;
+        dissector = Nyx_pcap.Dissector.Raw;
+        startup_ns = 800_000_000;
+        work_ns = 25_000_000;
+        desock_compat = true;
+        forking = true;
+        max_recv = 4096;
+        dict = [ "GET"; "POST"; "/databases/"; "/login"; "/ctrl-int"; "session-id="; "User-Agent: iTunes" ];
+      };
+    hooks = { Target.default_hooks with conn_state_size = 8; on_packet };
+  }
+
+let seeds =
+  [
+    List.map Bytes.of_string
+      [
+        "GET /server-info HTTP/1.1\r\nHost: daap.local\r\nUser-Agent: iTunes/12.0\r\n\r\n";
+        "GET /login HTTP/1.1\r\nHost: daap.local\r\n\r\n";
+        "GET /databases/1/items?session-id=50&meta=dmap.itemname HTTP/1.1\r\n\r\n";
+      ];
+  ]

@@ -1,0 +1,7 @@
+(** forked-daapd analogue: an HTTP/DAAP media server that forks a worker
+    per connection and does heavy per-request work — the slowest target in
+    Table 3 (tens of milliseconds per request for every fuzzer). No
+    planted bug. *)
+
+val target : Target.t
+val seeds : bytes list list

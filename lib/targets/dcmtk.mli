@@ -1,0 +1,18 @@
+(** dcmtk analogue: a DICOM upper-layer (DUL) PDU parser.
+
+    Carries the silent-corruption out-of-bounds read of Table 1's
+    footnote: a data element whose declared length exceeds the PDU buffer
+    reads past the allocation. With ASan the first occurrence crashes
+    (within seconds); without it the read only corrupts bookkeeping, and a
+    crash needs either an unlucky initial memory layout or corruption
+    accumulated across several test cases in one process — which only
+    no-reset fuzzers (the AFLNet family) exhibit. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_pdu : int -> bytes -> bytes
+(** [make_pdu pdu_type payload] with a correct length field. *)
+
+val make_associate_rq : unit -> bytes
+val make_echo_data : unit -> bytes

@@ -1,0 +1,147 @@
+let name = "dnsmasq"
+let site s = name ^ "/" ^ s
+
+let make_query ?(id = 0x1234) ?(qtype = 1) host =
+  let buf = Buffer.create 64 in
+  let u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  u16 id;
+  u16 0x0100 (* RD *);
+  u16 1 (* qdcount *);
+  u16 0;
+  u16 0;
+  u16 0;
+  List.iter
+    (fun label ->
+      Buffer.add_char buf (Char.chr (String.length label));
+      Buffer.add_string buf label)
+    (String.split_on_char '.' host);
+  Buffer.add_char buf '\000';
+  u16 qtype;
+  u16 1 (* IN *);
+  Buffer.to_bytes buf
+
+(* Parse one (possibly compressed) name starting at [pos]; returns the
+   label count or crashes on a pointer chain deeper than the recursion
+   budget — the planted stack-exhaustion bug. *)
+let parse_name ctx data pos =
+  let max_hops = 4 in
+  let rec walk pos hops labels =
+    if hops > max_hops then
+      Ctx.crash ctx ~kind:"stack-exhaustion"
+        "compressed-name pointer chain exceeds recursion budget";
+    match Proto_util.byte_at data pos with
+    | None ->
+      Ctx.hit ctx (site "name:truncated");
+      labels
+    | Some 0 -> labels
+    | Some len when len >= 0xC0 -> (
+      Ctx.hit ctx (site "name:pointer");
+      match Proto_util.byte_at data (pos + 1) with
+      | None -> labels
+      | Some lo ->
+        let target = ((len land 0x3F) lsl 8) lor lo in
+        if Ctx.branch ctx (site "name:fwdptr") (target >= pos) then
+          (* Self- and forward-pointing compression pointers are never
+             validated: following one loops until the stack is gone. *)
+          Ctx.crash ctx ~kind:"stack-exhaustion"
+            (Printf.sprintf "compression pointer at %d jumps forward to %d" pos target)
+        else walk target (hops + 1) labels)
+    | Some len when len > 63 ->
+      Ctx.hit ctx (site "name:badlen");
+      labels
+    | Some len ->
+      if Ctx.branch ctx (site "name:overrun") (pos + 1 + len > Bytes.length data) then
+        labels
+      else walk (pos + 1 + len) hops (labels + 1)
+  in
+  walk pos 0 0
+
+let on_packet ctx ~g:_ ~conn:_ ~reply data =
+  Ctx.hit ctx (site "packet");
+  if Ctx.branch ctx (site "short") (Bytes.length data < 12) then ()
+  else begin
+    let be pos len = Option.value ~default:0 (Proto_util.read_be data ~pos ~len) in
+    let id = be 0 2 in
+    let flags = be 2 2 in
+    let qdcount = be 4 2 in
+    let qr = flags land 0x8000 <> 0 in
+    let opcode = (flags lsr 11) land 0xF in
+    let rd = flags land 0x0100 <> 0 in
+    if Ctx.branch ctx (site "qr") qr then () (* responses to us are dropped *)
+    else begin
+      (match opcode with
+      | 0 -> Ctx.hit ctx (site "op:query")
+      | 1 -> Ctx.hit ctx (site "op:iquery")
+      | 2 -> Ctx.hit ctx (site "op:status")
+      | 4 -> Ctx.hit ctx (site "op:notify")
+      | 5 -> Ctx.hit ctx (site "op:update")
+      | _ -> Ctx.hit ctx (site "op:reserved"));
+      ignore (Ctx.branch ctx (site "rd") rd);
+      if Ctx.branch ctx (site "qd:none") (qdcount = 0) then ()
+      else if Ctx.branch ctx (site "qd:many") (qdcount > 4) then
+        (* dnsmasq rejects unreasonable question counts. *)
+        reply (Bytes.of_string "\x00\x00\x80\x01")
+      else begin
+        let labels = parse_name ctx data 12 in
+        (match labels with
+        | 0 -> Ctx.hit ctx (site "root-query")
+        | 1 -> Ctx.hit ctx (site "single-label")
+        | _ when labels > 5 -> Ctx.hit ctx (site "deep-name")
+        | _ -> Ctx.hit ctx (site "multi-label"));
+        (* qtype sits after the name; rescan to find its position. *)
+        let rec name_end pos =
+          match Proto_util.byte_at data pos with
+          | None -> pos
+          | Some 0 -> pos + 1
+          | Some len when len >= 0xC0 -> pos + 2
+          | Some len -> name_end (pos + 1 + len)
+        in
+        let qpos = name_end 12 in
+        let qtype = be qpos 2 in
+        (match qtype with
+        | 1 -> Ctx.hit ctx (site "qtype:A")
+        | 28 -> Ctx.hit ctx (site "qtype:AAAA")
+        | 15 -> Ctx.hit ctx (site "qtype:MX")
+        | 16 -> Ctx.hit ctx (site "qtype:TXT")
+        | 12 -> Ctx.hit ctx (site "qtype:PTR")
+        | 33 -> Ctx.hit ctx (site "qtype:SRV")
+        | 255 -> Ctx.hit ctx (site "qtype:ANY")
+        | _ -> Ctx.hit ctx (site "qtype:other"));
+        (* Answer: NOERROR with zero answers (we forward nothing). *)
+        let resp = Bytes.make 12 '\000' in
+        Bytes.set resp 0 (Char.chr ((id lsr 8) land 0xff));
+        Bytes.set resp 1 (Char.chr (id land 0xff));
+        Bytes.set resp 2 '\x80';
+        Ctx.set_state ctx 1;
+        reply resp
+      end
+    end
+  end
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 53;
+        proto = Nyx_netemu.Net.Udp;
+        dissector = Nyx_pcap.Dissector.Datagram;
+        startup_ns = 40_000_000;
+        work_ns = 120_000;
+        desock_compat = true;
+        forking = false;
+        max_recv = 512;
+        dict = [ "\x00\x01"; "\x00\x0f"; "\x00\xff"; "\xc0\x0c" ];
+      };
+    hooks = { Target.default_hooks with global_state_size = 8; conn_state_size = 8; on_packet };
+  }
+
+let seeds =
+  [
+    [ make_query "router.local"; make_query ~qtype:28 "host.example.com" ];
+    [ make_query ~qtype:12 "1.0.0.127.in-addr.arpa" ];
+  ]

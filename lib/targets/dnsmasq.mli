@@ -1,0 +1,13 @@
+(** dnsmasq analogue: a DNS forwarder/parser over UDP.
+
+    Carries the compressed-name pointer-loop bug that every fuzzer in the
+    paper's evaluation finds (Table 1): a compression pointer chain deeper
+    than the implementation's recursion budget exhausts the stack. One
+    crafted datagram suffices. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_query : ?id:int -> ?qtype:int -> string -> bytes
+(** A well-formed single-question query for a dotted name (test/seed
+    helper). *)

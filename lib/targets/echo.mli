@@ -1,0 +1,6 @@
+(** A tiny echo server with a trivially findable bug — the quickstart
+    target. Sending a line starting with ["BOOM"] after an earlier
+    ["MODE raw"] command crashes it. *)
+
+val target : Target.t
+val seeds : bytes list list

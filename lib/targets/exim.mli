@@ -1,0 +1,11 @@
+(** exim analogue: an SMTP server.
+
+    Carries the deep stateful header-rewriting bug that only Nyx-Net finds
+    in the paper (Table 1): inside DATA (reached only after EHLO → MAIL →
+    RCPT), a header line longer than the rewrite buffer with its colon
+    beyond the fold point overflows the continuation logic. Triggering it
+    needs a 5-packet protocol prefix plus payload growth — exactly the
+    scenario where throughput and incremental snapshots matter. *)
+
+val target : Target.t
+val seeds : bytes list list

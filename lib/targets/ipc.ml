@@ -1,0 +1,136 @@
+open Nyx_vm
+
+let name = "firefox-ipc"
+let site s = name ^ "/" ^ s
+
+(* Message types. *)
+let mt_create_actor = 1
+let mt_destroy_actor = 2
+let mt_actor_message = 3
+let mt_share_handle = 4
+let mt_ping = 5
+
+let max_actors = 8
+
+(* Global state layout: actor table of [state:i32] entries
+   (0 free, 1 live, 2 destroyed-dangling). *)
+let actor_off i = 4 * i
+let g_size = 4 * max_actors
+
+let make_msg ~actor ~msg_type payload =
+  let buf = Buffer.create (8 + Bytes.length payload) in
+  let u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  u16 actor;
+  u16 msg_type;
+  let len = Bytes.length payload in
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((len lsr (8 * i)) land 0xff))
+  done;
+  Buffer.add_bytes buf payload;
+  Buffer.to_bytes buf
+
+let on_packet ctx ~g ~conn:_ ~reply data =
+  let heap = ctx.Ctx.heap in
+  Ctx.hit ctx (site "packet");
+  if Ctx.branch ctx (site "short") (Bytes.length data < 8) then ()
+  else begin
+    let be pos len = Option.value ~default:0 (Proto_util.read_be data ~pos ~len) in
+    let actor = be 0 2 in
+    let msg_type = be 2 2 in
+    let declared = be 4 4 in
+    ignore (Ctx.branch ctx (site "len:ok") (declared = Bytes.length data - 8));
+    if Ctx.branch ctx (site "actor:range") (actor >= max_actors) then
+      reply (make_msg ~actor:0 ~msg_type:0xFF (Bytes.of_string "bad actor"))
+    else begin
+      let state () = Guest_heap.get_i32 heap (g + actor_off actor) in
+      match msg_type with
+      | t when t = mt_create_actor ->
+        Ctx.hit ctx (site "msg:create");
+        if Ctx.branch ctx (site "create:live") (state () = 1) then
+          reply (make_msg ~actor ~msg_type:0xFE (Bytes.of_string "already live"))
+        else begin
+          Guest_heap.set_i32 heap (g + actor_off actor) 1;
+          reply (make_msg ~actor ~msg_type:mt_create_actor Bytes.empty)
+        end
+      | t when t = mt_destroy_actor ->
+        Ctx.hit ctx (site "msg:destroy");
+        if Ctx.branch ctx (site "destroy:live") (state () = 1) then begin
+          (* The handler marks the slot dangling instead of free: the
+             use-after-free setup. *)
+          Guest_heap.set_i32 heap (g + actor_off actor) 2;
+          reply (make_msg ~actor ~msg_type:mt_destroy_actor Bytes.empty)
+        end
+        else reply (make_msg ~actor ~msg_type:0xFE (Bytes.of_string "not live"))
+      | t when t = mt_actor_message ->
+        Ctx.hit ctx (site "msg:actor-message");
+        (match state () with
+        | 1 ->
+          Ctx.hit ctx (site "deliver:live");
+          (match Bytes.length data - 8 with
+          | 0 -> Ctx.hit ctx (site "deliver:empty")
+          | n when n < 16 -> Ctx.hit ctx (site "deliver:small")
+          | _ -> Ctx.hit ctx (site "deliver:large"));
+          reply (make_msg ~actor ~msg_type:mt_actor_message (Bytes.of_string "ack"))
+        | 2 ->
+          Ctx.crash ctx ~kind:"use-after-free"
+            (Printf.sprintf "message delivered to destroyed actor %d" actor)
+        | _ ->
+          Ctx.hit ctx (site "deliver:free");
+          reply (make_msg ~actor ~msg_type:0xFE (Bytes.of_string "no actor")))
+      | t when t = mt_share_handle ->
+        Ctx.hit ctx (site "msg:share-handle");
+        (* Payload names another actor slot to link; both must be live. *)
+        let other = be 8 2 in
+        if Ctx.branch ctx (site "share:range") (other >= max_actors) then ()
+        else begin
+          let other_state = Guest_heap.get_i32 heap (g + actor_off other) in
+          if Ctx.branch ctx (site "share:both-live") (state () = 1 && other_state = 1)
+          then begin
+            (* Mimics dup(): the agent must track the aliased descriptor. *)
+            let fd = Nyx_netemu.Net.socket ctx.Ctx.net Nyx_netemu.Net.Unix_sock in
+            let fd2 = Nyx_netemu.Net.dup ctx.Ctx.net fd in
+            Nyx_netemu.Net.close ctx.Ctx.net fd;
+            Nyx_netemu.Net.close ctx.Ctx.net fd2;
+            reply (make_msg ~actor ~msg_type:mt_share_handle Bytes.empty)
+          end
+        end
+      | t when t = mt_ping ->
+        Ctx.hit ctx (site "msg:ping");
+        reply (make_msg ~actor ~msg_type:mt_ping (Bytes.of_string "pong"))
+      | _ -> Ctx.hit ctx (site "msg:unknown")
+    end
+  end
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 9900;
+        proto = Nyx_netemu.Net.Unix_sock;
+        dissector = Nyx_pcap.Dissector.Raw;
+        startup_ns = 1_500_000_000;
+        work_ns = 2_000_000;
+        desock_compat = false;
+        forking = false;
+        max_recv = 65536;
+        dict = [ "\x00\x01"; "\x00\x02"; "\x00\x03"; "\x00\x04"; "\x00\x05" ];
+      };
+    hooks = { Target.default_hooks with global_state_size = g_size; on_packet };
+  }
+
+let seeds =
+  [
+    [
+      make_msg ~actor:1 ~msg_type:mt_create_actor Bytes.empty;
+      make_msg ~actor:1 ~msg_type:mt_ping Bytes.empty;
+      make_msg ~actor:1 ~msg_type:mt_actor_message (Bytes.of_string "hello actor");
+      make_msg ~actor:2 ~msg_type:mt_create_actor Bytes.empty;
+      make_msg ~actor:1 ~msg_type:mt_share_handle (Bytes.of_string "\x00\x02");
+      make_msg ~actor:1 ~msg_type:mt_destroy_actor Bytes.empty;
+    ];
+  ]

@@ -1,0 +1,15 @@
+(** Firefox-IPC analogue (§5.6): an actor-based IPC broker over multiple
+    simultaneous Unix-domain connections.
+
+    Messages are [actor(2) | msg_type(2) | len(4) | payload]. Actors are
+    created and destroyed dynamically and some messages carry a descriptor
+    handle to another connection — the fd-passing pattern the agent must
+    track. Messaging a destroyed actor dereferences a dangling pointer
+    (use-after-free), reachable only with a multi-message, multi-connection
+    sequence. Incompatible with desock (needs several connections at
+    once). *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_msg : actor:int -> msg_type:int -> bytes -> bytes

@@ -1,0 +1,76 @@
+type t = {
+  spec : Nyx_spec.Spec.t;
+  actor : Nyx_spec.Spec.edge_ty;
+  create : Nyx_spec.Spec.node_ty;
+  destroy : Nyx_spec.Spec.node_ty;
+  message : Nyx_spec.Spec.node_ty;
+  share : Nyx_spec.Spec.node_ty;
+  ping : Nyx_spec.Spec.node_ty;
+}
+
+let create () =
+  let b = Nyx_spec.Spec.start "firefox-ipc-typed" in
+  let actor = Nyx_spec.Spec.edge_type b "actor" in
+  let slot = Nyx_spec.Spec.data_type b ~max_len:1 "slot-hint" in
+  let payload = Nyx_spec.Spec.data_type b ~max_len:256 "payload" in
+  let create = Nyx_spec.Spec.node_type b ~outputs:[ actor ] ~data:[ slot ] "create" in
+  (* destroy borrows: the wire protocol happily accepts further messages
+     to a destroyed actor id, which is exactly the bug surface. *)
+  let destroy = Nyx_spec.Spec.node_type b ~borrows:[ actor ] "destroy" in
+  let message = Nyx_spec.Spec.node_type b ~borrows:[ actor ] ~data:[ payload ] "message" in
+  let share = Nyx_spec.Spec.node_type b ~borrows:[ actor; actor ] "share" in
+  let ping = Nyx_spec.Spec.node_type b ~borrows:[ actor ] "ping" in
+  { spec = Nyx_spec.Spec.finalize b; actor; create; destroy; message; share; ping }
+
+let slot_of_data data =
+  if Array.length data > 0 && Bytes.length data.(0) > 0 then
+    Char.code (Bytes.get data.(0) 0) land 7
+  else 1
+
+let handler t ~send (nt : Nyx_spec.Spec.node_ty) inputs data =
+  let msg ~actor ~msg_type payload = send (Ipc.make_msg ~actor ~msg_type payload) in
+  if nt.Nyx_spec.Spec.nt_id = t.create.Nyx_spec.Spec.nt_id then begin
+    let slot = slot_of_data data in
+    msg ~actor:slot ~msg_type:1 Bytes.empty;
+    Some [ slot ]
+  end
+  else if nt.Nyx_spec.Spec.nt_id = t.destroy.Nyx_spec.Spec.nt_id then begin
+    (match inputs with [ a ] -> msg ~actor:a ~msg_type:2 Bytes.empty | _ -> ());
+    Some []
+  end
+  else if nt.Nyx_spec.Spec.nt_id = t.message.Nyx_spec.Spec.nt_id then begin
+    (match inputs with
+    | [ a ] ->
+      let payload = if Array.length data > 0 then data.(0) else Bytes.empty in
+      msg ~actor:a ~msg_type:3 payload
+    | _ -> ());
+    Some []
+  end
+  else if nt.Nyx_spec.Spec.nt_id = t.share.Nyx_spec.Spec.nt_id then begin
+    (match inputs with
+    | [ a; other ] ->
+      msg ~actor:a ~msg_type:4
+        (Bytes.of_string (Printf.sprintf "%c%c" (Char.chr (other lsr 8)) (Char.chr (other land 0xff))))
+    | _ -> ());
+    Some []
+  end
+  else if nt.Nyx_spec.Spec.nt_id = t.ping.Nyx_spec.Spec.nt_id then begin
+    (match inputs with [ a ] -> msg ~actor:a ~msg_type:5 Bytes.empty | _ -> ());
+    Some []
+  end
+  else None
+
+let seed t =
+  let b = Nyx_spec.Builder.create t.spec in
+  let a1 =
+    List.hd (Nyx_spec.Builder.call b "create" ~data:[ Bytes.of_string "\x01" ] [])
+  in
+  let a2 =
+    List.hd (Nyx_spec.Builder.call b "create" ~data:[ Bytes.of_string "\x02" ] [])
+  in
+  ignore (Nyx_spec.Builder.call b "ping" [ a1 ]);
+  ignore (Nyx_spec.Builder.call b "message" ~data:[ Bytes.of_string "hello actor" ] [ a1 ]);
+  ignore (Nyx_spec.Builder.call b "share" [ a1; a2 ]);
+  ignore (Nyx_spec.Builder.call b "message" ~data:[ Bytes.of_string "to two" ] [ a2 ]);
+  ignore (Nyx_spec.Builder.call b "destroy" [ a2 ]);
+  Nyx_spec.Builder.build b

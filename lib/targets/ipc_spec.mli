@@ -1,0 +1,40 @@
+(** A typed specification for the Firefox-IPC analogue — the full
+    affine-typed-bytecode machinery of §2.2 put to work.
+
+    Where the generic raw-packet spec treats the protocol as opaque bytes,
+    this spec models it: [create] mints an actor handle (an output edge),
+    [message]/[share]/[ping] borrow handles, and the fuzzer can therefore
+    only generate well-formed message sequences — every generated input
+    parses. [destroy] deliberately {e borrows} instead of consuming: the
+    wire protocol lets a peer keep using a destroyed actor id, and
+    modeling destroy as consumption would make the use-after-free
+    unexpressible (the spec-fidelity trade-off the paper discusses).
+
+    Use with [Nyx_core.Campaign.run]'s [~custom] handler. *)
+
+type t = {
+  spec : Nyx_spec.Spec.t;
+  actor : Nyx_spec.Spec.edge_ty;
+  create : Nyx_spec.Spec.node_ty;
+  destroy : Nyx_spec.Spec.node_ty;
+  message : Nyx_spec.Spec.node_ty;
+  share : Nyx_spec.Spec.node_ty;
+  ping : Nyx_spec.Spec.node_ty;
+}
+
+val create : unit -> t
+
+val handler :
+  t ->
+  send:(bytes -> unit) ->
+  Nyx_spec.Spec.node_ty ->
+  int list ->
+  bytes array ->
+  int list option
+(** Translates typed ops into wire messages on the implicit connection;
+    structurally an {!Nyx_core.Op_handlers.custom_handler}. Actor slots
+    are assigned from each [create]'s one-byte slot hint. *)
+
+val seed : t -> Nyx_spec.Program.t
+(** A well-typed session: two actors created, messaged, shared, and one
+    destroyed. *)

@@ -1,0 +1,223 @@
+let name = "kamailio"
+let site s = name ^ "/" ^ s
+
+let methods =
+  [ "INVITE"; "REGISTER"; "OPTIONS"; "BYE"; "ACK"; "CANCEL"; "SUBSCRIBE";
+    "NOTIFY"; "MESSAGE"; "REFER"; "INFO"; "UPDATE"; "PRACK"; "PUBLISH" ]
+
+let split_lines s =
+  String.split_on_char '\n' s |> List.map (fun l -> String.trim l)
+
+(* sip:user@host:port;params *)
+let parse_uri ctx uri =
+  if Ctx.branch ctx (site "uri:scheme") (Proto_util.starts_with_ci ~prefix:"sip:" uri)
+  then begin
+    let rest = String.sub uri 4 (String.length uri - 4) in
+    (match String.index_opt rest '@' with
+    | Some i ->
+      Ctx.hit ctx (site "uri:user");
+      if Ctx.branch ctx (site "uri:user-empty") (i = 0) then ()
+    | None -> Ctx.hit ctx (site "uri:nouser"));
+    (match String.index_opt rest ';' with
+    | Some _ -> Ctx.hit ctx (site "uri:params")
+    | None -> ());
+    (match String.rindex_opt rest ':' with
+    | Some i when i > 0 -> (
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match Proto_util.int_of_string_bounded ~max:65535 port with
+      | Some p -> ignore (Ctx.branch ctx (site "uri:port-privileged") (p < 1024))
+      | None -> Ctx.hit ctx (site "uri:port-bad"))
+    | _ -> ());
+    true
+  end
+  else if Ctx.branch ctx (site "uri:sips") (Proto_util.starts_with_ci ~prefix:"sips:" uri)
+  then true
+  else if Ctx.branch ctx (site "uri:tel") (Proto_util.starts_with_ci ~prefix:"tel:" uri)
+  then true
+  else false
+
+let parse_header ctx line =
+  match String.index_opt line ':' with
+  | None -> Ctx.hit ctx (site "hdr:malformed")
+  | Some i ->
+    let hname = Proto_util.upper (String.trim (String.sub line 0 i)) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    (match hname with
+    | "VIA" | "V" ->
+      Ctx.hit ctx (site "hdr:via");
+      if Ctx.branch ctx (site "via:udp") (Proto_util.starts_with_ci ~prefix:"SIP/2.0/UDP" value)
+      then ()
+      else if Ctx.branch ctx (site "via:tcp")
+                (Proto_util.starts_with_ci ~prefix:"SIP/2.0/TCP" value)
+      then ()
+      else Ctx.hit ctx (site "via:other");
+      (match String.index_opt value ';' with
+      | Some _ ->
+        if Ctx.branch ctx (site "via:branch")
+             (Proto_util.header_value ~name:"Via" ("Via:" ^ value) <> None
+             && String.length value > 12)
+        then ()
+      | None -> Ctx.hit ctx (site "via:nobranch"))
+    | "FROM" | "F" ->
+      Ctx.hit ctx (site "hdr:from");
+      (match String.index_opt value '<' with
+      | Some i -> (
+        match String.index_opt value '>' with
+        | Some j when j > i ->
+          ignore (parse_uri ctx (String.sub value (i + 1) (j - i - 1)))
+        | _ -> Ctx.hit ctx (site "from:unclosed"))
+      | None -> ignore (parse_uri ctx value));
+      if Ctx.branch ctx (site "from:tag") (Proto_util.starts_with_ci ~prefix:"" value
+                                           && String.length value > 0
+                                           && String.length value < 2048) then ()
+    | "TO" | "T" -> Ctx.hit ctx (site "hdr:to")
+    | "CSEQ" -> (
+      Ctx.hit ctx (site "hdr:cseq");
+      match Proto_util.tokens value with
+      | [ num; meth ] -> (
+        (match Proto_util.int_of_string_bounded ~max:1_000_000 num with
+        | Some _ -> Ctx.hit ctx (site "cseq:num-ok")
+        | None -> Ctx.hit ctx (site "cseq:num-bad"));
+        if List.mem (Proto_util.upper meth) methods then Ctx.hit ctx (site "cseq:method-ok")
+        else Ctx.hit ctx (site "cseq:method-bad"))
+      | _ -> Ctx.hit ctx (site "cseq:arity"))
+    | "CALL-ID" | "I" ->
+      Ctx.hit ctx (site "hdr:callid");
+      ignore (Ctx.branch ctx (site "callid:host") (String.contains value '@'))
+    | "CONTACT" | "M" ->
+      Ctx.hit ctx (site "hdr:contact");
+      ignore (Ctx.branch ctx (site "contact:star") (value = "*"))
+    | "MAX-FORWARDS" -> (
+      match Proto_util.int_of_string_bounded ~max:255 value with
+      | Some 0 -> Ctx.hit ctx (site "maxfwd:zero")
+      | Some _ -> Ctx.hit ctx (site "maxfwd:ok")
+      | None -> Ctx.hit ctx (site "maxfwd:bad"))
+    | "CONTENT-LENGTH" | "L" -> (
+      match Proto_util.int_of_string_bounded ~max:65536 value with
+      | Some _ -> Ctx.hit ctx (site "clen:ok")
+      | None -> Ctx.hit ctx (site "clen:bad"))
+    | "CONTENT-TYPE" | "C" ->
+      if Ctx.branch ctx (site "ctype:sdp") (Proto_util.starts_with_ci ~prefix:"application/sdp" value)
+      then ()
+      else Ctx.hit ctx (site "ctype:other")
+    | "EXPIRES" -> Ctx.hit ctx (site "hdr:expires")
+    | "ROUTE" | "RECORD-ROUTE" -> Ctx.hit ctx (site "hdr:route")
+    | "AUTHORIZATION" | "PROXY-AUTHORIZATION" ->
+      Ctx.hit ctx (site "hdr:auth");
+      ignore (Ctx.branch ctx (site "auth:digest") (Proto_util.starts_with_ci ~prefix:"Digest" value))
+    | "USER-AGENT" -> Ctx.hit ctx (site "hdr:ua")
+    | "SUPPORTED" | "REQUIRE" -> Ctx.hit ctx (site "hdr:ext")
+    | "EVENT" | "O" -> Ctx.hit ctx (site "hdr:event")
+    | _ -> Ctx.hit ctx (site "hdr:unknown"))
+
+let parse_sdp ctx body =
+  List.iter
+    (fun line ->
+      if String.length line >= 2 && line.[1] = '=' then
+        match line.[0] with
+        | 'v' -> Ctx.hit ctx (site "sdp:v")
+        | 'o' -> Ctx.hit ctx (site "sdp:o")
+        | 'c' -> Ctx.hit ctx (site "sdp:c")
+        | 'm' ->
+          Ctx.hit ctx (site "sdp:m");
+          if Ctx.branch ctx (site "sdp:audio")
+               (Proto_util.starts_with_ci ~prefix:"m=audio" line)
+          then ()
+        | 'a' -> Ctx.hit ctx (site "sdp:a")
+        | _ -> Ctx.hit ctx (site "sdp:other")
+      else if line <> "" then Ctx.hit ctx (site "sdp:junk"))
+    (split_lines body)
+
+let on_packet ctx ~g:_ ~conn:_ ~reply data =
+  Ctx.hit ctx (site "packet");
+  let text = Bytes.to_string data in
+  let head, body =
+    match Proto_util.find_blank_line text with
+    | Some i -> (String.sub text 0 i, String.sub text i (String.length text - i))
+    | None -> (text, "")
+  in
+  match split_lines head with
+  | [] -> Ctx.hit ctx (site "empty")
+  | request_line :: headers ->
+    (match Proto_util.tokens request_line with
+    | [ meth; uri; version ] ->
+      let meth = Proto_util.upper meth in
+      if List.mem meth methods then begin
+        Ctx.hit ctx (site ("method:" ^ meth));
+        ignore (parse_uri ctx uri);
+        if Ctx.branch ctx (site "version") (version = "SIP/2.0") then ()
+        else Ctx.hit ctx (site "version:bad");
+        List.iter (fun l -> if l <> "" then parse_header ctx l) headers;
+        if Ctx.branch ctx (site "has-body") (String.length body > 4) then
+          parse_sdp ctx body;
+        let code, text_resp =
+          match meth with
+          | "INVITE" -> (180, "Ringing")
+          | "REGISTER" -> (200, "OK")
+          | "OPTIONS" -> (200, "OK")
+          | "SUBSCRIBE" -> (202, "Accepted")
+          | _ -> (200, "OK")
+        in
+        Ctx.set_state ctx code;
+        reply (Bytes.of_string (Printf.sprintf "SIP/2.0 %d %s\r\n\r\n" code text_resp))
+      end
+      else if Ctx.branch ctx (site "response") (Proto_util.starts_with_ci ~prefix:"SIP/2.0" meth)
+      then Ctx.hit ctx (site "got-response")
+      else begin
+        Ctx.hit ctx (site "method:unknown");
+        Ctx.set_state ctx 501;
+        reply (Bytes.of_string "SIP/2.0 501 Not Implemented\r\n\r\n")
+      end
+    | _ ->
+      Ctx.hit ctx (site "reqline:malformed");
+      Ctx.set_state ctx 400;
+      reply (Bytes.of_string "SIP/2.0 400 Bad Request\r\n\r\n"))
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 5060;
+        proto = Nyx_netemu.Net.Udp;
+        dissector = Nyx_pcap.Dissector.Datagram;
+        startup_ns = 150_000_000;
+        work_ns = 1_600_000;
+        desock_compat = false;
+        forking = false;
+        max_recv = 4096;
+        dict = [ "INVITE"; "REGISTER"; "OPTIONS"; "SUBSCRIBE"; "SIP/2.0"; "Via: SIP/2.0/UDP "; "From: <sip:"; "To: <sip:"; "CSeq:"; "Contact:"; "Max-Forwards:"; "Content-Length:"; "application/sdp"; "m=audio" ];
+      };
+    hooks = { Target.default_hooks with on_packet };
+  }
+
+let invite =
+  "INVITE sip:bob@example.com SIP/2.0\r\n\
+   Via: SIP/2.0/UDP client.example.com;branch=z9hG4bK776asdhds\r\n\
+   Max-Forwards: 70\r\n\
+   To: <sip:bob@example.com>\r\n\
+   From: <sip:alice@example.com>;tag=1928301774\r\n\
+   Call-ID: a84b4c76e66710@client.example.com\r\n\
+   CSeq: 314159 INVITE\r\n\
+   Contact: <sip:alice@client.example.com>\r\n\
+   Content-Type: application/sdp\r\n\
+   Content-Length: 55\r\n\
+   \r\n\
+   v=0\r\no=alice 2890844526 2890844526 IN IP4 client\r\nm=audio 49170 RTP/AVP 0\r\n"
+
+let register =
+  "REGISTER sip:example.com SIP/2.0\r\n\
+   Via: SIP/2.0/UDP client.example.com;branch=z9hG4bKnashds7\r\n\
+   To: <sip:alice@example.com>\r\n\
+   From: <sip:alice@example.com>;tag=456248\r\n\
+   Call-ID: 843817637684230@client\r\n\
+   CSeq: 1826 REGISTER\r\n\
+   Contact: <sip:alice@client.example.com>\r\n\
+   Expires: 7200\r\n\r\n"
+
+let seeds =
+  [
+    [ Bytes.of_string register; Bytes.of_string invite ];
+    [ Bytes.of_string "OPTIONS sip:example.com SIP/2.0\r\nCSeq: 1 OPTIONS\r\n\r\n" ];
+  ]

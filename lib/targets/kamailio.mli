@@ -1,0 +1,9 @@
+(** kamailio analogue: a SIP proxy's request parser over UDP.
+
+    No planted bug; it is the coverage-depth target — the paper reports
+    the biggest coverage gap here (+45–47% over AFLNet), coming from a
+    large header-parsing surface only reachable with many diverse
+    packets. *)
+
+val target : Target.t
+val seeds : bytes list list

@@ -1,0 +1,35 @@
+let config =
+  {
+    Ftp_common.name = "lightftp";
+    banner = "220 LightFTP ready";
+    require_auth = true;
+    commands =
+      [ "USER"; "PASS"; "QUIT"; "SYST"; "TYPE"; "PWD"; "CWD"; "PASV"; "PORT";
+        "LIST"; "RETR"; "STOR"; "NOOP"; "FEAT"; "ABOR" ];
+    special = None;
+  }
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name = "lightftp";
+        role = Target.Server;
+        port = 2121;
+        proto = Nyx_netemu.Net.Tcp;
+        dissector = Nyx_pcap.Dissector.Crlf;
+        startup_ns = 25_000_000;
+        work_ns = 120_000;
+        desock_compat = true;
+        forking = false;
+        max_recv = 1024;
+        dict = [ "USER"; "PASS"; "TYPE I"; "PASV"; "LIST"; "RETR"; "STOR" ];
+      };
+    hooks = Ftp_common.hooks config;
+  }
+
+let seeds =
+  [
+    List.map Bytes.of_string
+      [ "USER fuzz\r\n"; "PASS fuzz\r\n"; "TYPE I\r\n"; "PASV\r\n"; "LIST\r\n" ];
+  ]

@@ -1,0 +1,5 @@
+(** lightftp analogue: a minimal FTP server supporting only a core command
+    subset; works under libpreeny's desock emulation. *)
+
+val target : Target.t
+val seeds : bytes list list

@@ -1,0 +1,10 @@
+(** lighttpd analogue — the §5.5 case study.
+
+    An HTTP/1.1 server whose chunked-transfer decoding can compute a
+    negative amount of memory to allocate (the integer underflow in a
+    malloc-size computation the paper reported, fixed before it shipped):
+    a chunk header larger than the remaining body length underflows the
+    buffer-resize arithmetic. *)
+
+val target : Target.t
+val seeds : bytes list list

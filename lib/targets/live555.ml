@@ -1,0 +1,151 @@
+open Nyx_vm
+
+let name = "live555"
+let site s = name ^ "/" ^ s
+
+(* Connection state offsets. *)
+let f_described = 0
+let f_session = 4
+let f_playing = 8
+
+let header_lines text =
+  match Proto_util.find_blank_line text with
+  | Some i -> String.sub text 0 i
+  | None -> text
+
+let get_header text hname =
+  String.split_on_char '\n' (header_lines text)
+  |> List.map String.trim
+  |> List.find_map (fun l -> Proto_util.header_value ~name:hname l)
+
+let parse_transport ctx value =
+  (* Returns the parsed transport spec, or None when no key=value pair is
+     present — the condition the SETUP handler fails to check. *)
+  let parts = String.split_on_char ';' value in
+  List.iter
+    (fun p ->
+      let p = String.trim p in
+      if Ctx.branch ctx (site "transport:rtp-avp") (Proto_util.starts_with_ci ~prefix:"RTP/AVP" p)
+      then ()
+      else if Ctx.branch ctx (site "transport:unicast") (Proto_util.upper p = "UNICAST")
+      then ()
+      else if Ctx.branch ctx (site "transport:interleaved")
+                (Proto_util.starts_with_ci ~prefix:"interleaved" p)
+      then ()
+      else Ctx.hit ctx (site "transport:other"))
+    parts;
+  List.find_opt (fun p -> String.contains p '=') parts
+
+let on_packet ctx ~g:_ ~conn ~reply data =
+  let heap = ctx.Ctx.heap in
+  let text = Bytes.to_string data in
+  let cseq = Option.value ~default:"0" (get_header text "CSeq") in
+  let r code reason extra =
+    Ctx.set_state ctx code;
+    reply
+      (Bytes.of_string
+         (Printf.sprintf "RTSP/1.0 %d %s\r\nCSeq: %s\r\n%s\r\n" code reason cseq extra))
+  in
+  Ctx.hit ctx (site "packet");
+  match String.split_on_char '\n' text |> List.map String.trim with
+  | [] | [ "" ] -> Ctx.hit ctx (site "empty")
+  | request_line :: _ -> (
+    match Proto_util.tokens request_line with
+    | [ verb; url; version ] -> (
+      let verb = Proto_util.upper verb in
+      ignore (Ctx.branch ctx (site "version") (version = "RTSP/1.0"));
+      ignore (Ctx.branch ctx (site "url:rtsp") (Proto_util.starts_with_ci ~prefix:"rtsp://" url));
+      match verb with
+      | "OPTIONS" ->
+        Ctx.hit ctx (site "verb:options");
+        r 200 "OK" "Public: OPTIONS, DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN\r\n"
+      | "DESCRIBE" ->
+        Ctx.hit ctx (site "verb:describe");
+        (match get_header text "Accept" with
+        | Some accept when Proto_util.starts_with_ci ~prefix:"application/sdp" accept ->
+          Ctx.hit ctx (site "describe:sdp")
+        | Some _ -> Ctx.hit ctx (site "describe:other-accept")
+        | None -> Ctx.hit ctx (site "describe:no-accept"));
+        Guest_heap.set_i32 heap (conn + f_described) 1;
+        r 200 "OK" "Content-Type: application/sdp\r\nContent-Length: 0\r\n"
+      | "SETUP" ->
+        Ctx.hit ctx (site "verb:setup");
+        if Ctx.branch ctx (site "setup:undescribed")
+             (Guest_heap.get_i32 heap (conn + f_described) = 0)
+        then r 455 "Method Not Valid in This State" ""
+        else begin
+          match get_header text "Transport" with
+          | None ->
+            Ctx.hit ctx (site "setup:no-transport");
+            r 461 "Unsupported Transport" ""
+          | Some value -> (
+            match parse_transport ctx value with
+            | None ->
+              (* The unchecked null: session setup dereferences the parsed
+                 transport spec. *)
+              Ctx.crash ctx ~kind:"null-deref"
+                "SETUP with Transport header lacking key=value dereferences null spec"
+            | Some _ ->
+              Guest_heap.set_i32 heap (conn + f_session) 7;
+              r 200 "OK" "Session: 00000007\r\nTransport: RTP/AVP;unicast\r\n")
+        end
+      | "PLAY" ->
+        Ctx.hit ctx (site "verb:play");
+        if Ctx.branch ctx (site "play:nosession")
+             (Guest_heap.get_i32 heap (conn + f_session) = 0)
+        then r 454 "Session Not Found" ""
+        else begin
+          Guest_heap.set_i32 heap (conn + f_playing) 1;
+          r 200 "OK" "Range: npt=0.000-\r\n"
+        end
+      | "PAUSE" ->
+        Ctx.hit ctx (site "verb:pause");
+        if Ctx.branch ctx (site "pause:notplaying")
+             (Guest_heap.get_i32 heap (conn + f_playing) = 0)
+        then r 455 "Method Not Valid in This State" ""
+        else r 200 "OK" ""
+      | "TEARDOWN" ->
+        Ctx.hit ctx (site "verb:teardown");
+        Guest_heap.set_i32 heap (conn + f_session) 0;
+        Guest_heap.set_i32 heap (conn + f_playing) 0;
+        r 200 "OK" ""
+      | "GET_PARAMETER" | "SET_PARAMETER" ->
+        Ctx.hit ctx (site "verb:parameter");
+        r 200 "OK" ""
+      | _ ->
+        Ctx.hit ctx (site "verb:unknown");
+        r 501 "Not Implemented" "")
+    | _ ->
+      Ctx.hit ctx (site "reqline:malformed");
+      r 400 "Bad Request" "")
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 8554;
+        proto = Nyx_netemu.Net.Tcp;
+        dissector = Nyx_pcap.Dissector.Raw;
+        startup_ns = 60_000_000;
+        work_ns = 3_800_000;
+        desock_compat = false;
+        forking = false;
+        max_recv = 4096;
+        dict = [ "DESCRIBE"; "SETUP"; "PLAY"; "PAUSE"; "TEARDOWN"; "RTSP/1.0"; "CSeq:"; "Transport:"; "RTP/AVP"; "unicast"; "application/sdp"; "Session:" ];
+      };
+    hooks = { Target.default_hooks with conn_state_size = 12; on_packet };
+  }
+
+let seeds =
+  [
+    List.map Bytes.of_string
+      [
+        "OPTIONS rtsp://server/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n";
+        "DESCRIBE rtsp://server/stream RTSP/1.0\r\nCSeq: 2\r\nAccept: application/sdp\r\n\r\n";
+        "SETUP rtsp://server/stream/track1 RTSP/1.0\r\nCSeq: 3\r\n\
+         Transport: RTP/AVP;unicast;client_port=5000-5001\r\n\r\n";
+        "PLAY rtsp://server/stream RTSP/1.0\r\nCSeq: 4\r\nSession: 00000007\r\n\r\n";
+      ];
+  ]

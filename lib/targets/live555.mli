@@ -1,0 +1,10 @@
+(** live555 analogue: an RTSP media server.
+
+    Carries the SETUP Transport-header null dereference that the AFL-based
+    fuzzers also find (Table 1): a [Transport:] header without any
+    [key=value] pair leaves the parsed transport description null and the
+    session setup dereferences it. Two packets (DESCRIBE, then the broken
+    SETUP) suffice, and seeds contain both verbs. *)
+
+val target : Target.t
+val seeds : bytes list list

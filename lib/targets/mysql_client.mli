@@ -1,0 +1,17 @@
+(** MySQL client analogue — the §5.4 case study.
+
+    This is a {e client} target: at startup it dials out to a MySQL
+    server, and the fuzzer impersonates the server, feeding handshake,
+    OK/ERR and result-set packets. Carries an out-of-bounds read like the
+    one the paper found in the Ubuntu-shipped client: a server greeting
+    whose advertised auth-plugin-data length exceeds the packet copies
+    past the scramble buffer. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_handshake : ?salt_len:int -> ?version:string -> unit -> bytes
+(** A well-formed protocol-10 server greeting (seed/test helper). *)
+
+val make_ok : unit -> bytes
+val make_err : string -> bytes

@@ -1,0 +1,12 @@
+(** openssh analogue: the SSH transport-layer state machine (version
+    exchange, KEXINIT negotiation, service request, userauth). No planted
+    bug — a stateful binary-protocol coverage target that works under
+    desock. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_packet : int -> bytes -> bytes
+(** [make_packet msg_type payload] framed as [len(4)][type(1)][payload]. *)
+
+val make_kexinit : unit -> bytes

@@ -1,0 +1,253 @@
+open Nyx_vm
+
+let name = "openssl"
+let site s = name ^ "/" ^ s
+
+let f_state = 0 (* 0 fresh, 1 hello-seen, 2 ccs-seen *)
+
+(* Record: type(1) ver(2) len(2) payload. *)
+let make_record ctype payload =
+  let buf = Buffer.create (5 + Bytes.length payload) in
+  Buffer.add_char buf (Char.chr ctype);
+  Buffer.add_string buf "\x03\x03";
+  Buffer.add_char buf (Char.chr ((Bytes.length payload lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (Bytes.length payload land 0xff));
+  Buffer.add_bytes buf payload;
+  Buffer.to_bytes buf
+
+let make_client_hello ?sni ?(n_suites = 2) () =
+  let body = Buffer.create 128 in
+  let u16 v =
+    Buffer.add_char body (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char body (Char.chr (v land 0xff))
+  in
+  u16 0x0303 (* legacy version *);
+  Buffer.add_string body (String.make 32 'R') (* random *);
+  Buffer.add_char body '\000' (* session id *);
+  u16 (2 * n_suites);
+  for i = 0 to n_suites - 1 do
+    u16 (0x1301 + i)
+  done;
+  Buffer.add_string body "\x01\x00" (* compression *);
+  let exts = Buffer.create 64 in
+  let ext id payload =
+    Buffer.add_char exts (Char.chr ((id lsr 8) land 0xff));
+    Buffer.add_char exts (Char.chr (id land 0xff));
+    Buffer.add_char exts (Char.chr ((String.length payload lsr 8) land 0xff));
+    Buffer.add_char exts (Char.chr (String.length payload land 0xff));
+    Buffer.add_string exts payload
+  in
+  (match sni with
+  | Some host ->
+    let entry = Printf.sprintf "\x00%c%c%s"
+        (Char.chr ((String.length host lsr 8) land 0xff))
+        (Char.chr (String.length host land 0xff)) host in
+    let list_ = Printf.sprintf "%c%c%s"
+        (Char.chr (((String.length entry) lsr 8) land 0xff))
+        (Char.chr ((String.length entry) land 0xff)) entry in
+    ext 0 list_
+  | None -> ());
+  ext 43 "\x02\x03\x04" (* supported_versions: TLS 1.3 *);
+  ext 13 "\x00\x02\x04\x03" (* signature_algorithms *);
+  u16 (Buffer.length exts);
+  Buffer.add_buffer body exts;
+  (* Handshake header: type(1) len(3). *)
+  let hs = Buffer.create 4 in
+  Buffer.add_char hs '\x01';
+  let blen = Buffer.length body in
+  Buffer.add_char hs (Char.chr ((blen lsr 16) land 0xff));
+  Buffer.add_char hs (Char.chr ((blen lsr 8) land 0xff));
+  Buffer.add_char hs (Char.chr (blen land 0xff));
+  Buffer.add_buffer hs body;
+  make_record 22 (Buffer.to_bytes hs)
+
+let parse_extensions ctx payload pos limit =
+  let be p l = Proto_util.read_be payload ~pos:p ~len:l in
+  let pos = ref pos in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !pos + 4 <= limit do
+    match (be !pos 2, be (!pos + 2) 2) with
+    | Some ext_id, Some ext_len ->
+      incr count;
+      if Ctx.branch ctx (site "ext:overrun") (!pos + 4 + ext_len > limit) then
+        continue := false
+      else begin
+        (match ext_id with
+        | 0 ->
+          Ctx.hit ctx (site "ext:sni");
+          (* server_name list: len(2) type(1) hostlen(2) host *)
+          (match be (!pos + 4) 2 with
+          | Some list_len when list_len >= 3 && list_len <= ext_len - 2 -> (
+            match be (!pos + 7) 2 with
+            | Some host_len when host_len + 3 <= list_len ->
+              let host = Bytes.sub_string payload (!pos + 9) host_len in
+              ignore (Ctx.branch ctx (site "sni:dotted") (String.contains host '.'));
+              ignore (Ctx.branch ctx (site "sni:long") (host_len > 64))
+            | _ -> Ctx.hit ctx (site "sni:bad-hostlen"))
+          | _ -> Ctx.hit ctx (site "sni:bad-list"))
+        | 16 -> Ctx.hit ctx (site "ext:alpn")
+        | 10 -> Ctx.hit ctx (site "ext:groups")
+        | 13 -> Ctx.hit ctx (site "ext:sigalgs")
+        | 43 ->
+          Ctx.hit ctx (site "ext:versions");
+          (match be (!pos + 5) 2 with
+          | Some 0x0304 -> Ctx.hit ctx (site "ver:tls13")
+          | Some 0x0303 -> Ctx.hit ctx (site "ver:tls12")
+          | _ -> Ctx.hit ctx (site "ver:other"))
+        | 51 -> Ctx.hit ctx (site "ext:keyshare")
+        | 41 -> Ctx.hit ctx (site "ext:psk")
+        | 42 -> Ctx.hit ctx (site "ext:early-data")
+        | 44 -> Ctx.hit ctx (site "ext:cookie")
+        | _ -> Ctx.hit ctx (site "ext:unknown"));
+        pos := !pos + 4 + ext_len
+      end
+    | _ -> continue := false
+  done;
+  !count
+
+let parse_client_hello ctx payload =
+  let be p l = Proto_util.read_be payload ~pos:p ~len:l in
+  if Ctx.branch ctx (site "ch:short") (Bytes.length payload < 38) then false
+  else begin
+    (match be 0 2 with
+    | Some 0x0303 -> Ctx.hit ctx (site "ch:ver12")
+    | Some 0x0301 -> Ctx.hit ctx (site "ch:ver10")
+    | _ -> Ctx.hit ctx (site "ch:ver-other"));
+    let sid_len = Option.value ~default:0 (be 34 1) in
+    if Ctx.branch ctx (site "ch:sid-overrun") (35 + sid_len + 2 > Bytes.length payload)
+    then false
+    else begin
+      ignore (Ctx.branch ctx (site "ch:resumption") (sid_len > 0));
+      let suites_pos = 35 + sid_len in
+      let suites_len = Option.value ~default:0 (be suites_pos 2) in
+      if Ctx.branch ctx (site "ch:suites-overrun")
+           (suites_pos + 2 + suites_len > Bytes.length payload)
+      then false
+      else begin
+        (match suites_len / 2 with
+        | 0 -> Ctx.hit ctx (site "suites:none")
+        | n when n <= 4 -> Ctx.hit ctx (site "suites:few")
+        | n when n <= 16 -> Ctx.hit ctx (site "suites:normal")
+        | _ -> Ctx.hit ctx (site "suites:excessive"));
+        let rec scan_suites i found13 =
+          if i + 2 > suites_len then found13
+          else
+            match be (suites_pos + 2 + i) 2 with
+            | Some s when s >= 0x1301 && s <= 0x1303 -> scan_suites (i + 2) true
+            | Some 0x00ff ->
+              Ctx.hit ctx (site "suites:scsv");
+              scan_suites (i + 2) found13
+            | _ -> scan_suites (i + 2) found13
+        in
+        ignore (Ctx.branch ctx (site "suites:tls13") (scan_suites 0 false));
+        let comp_pos = suites_pos + 2 + suites_len in
+        let comp_len = Option.value ~default:0 (be comp_pos 1) in
+        let ext_pos = comp_pos + 1 + comp_len in
+        if ext_pos + 2 <= Bytes.length payload then begin
+          let ext_len = Option.value ~default:0 (be ext_pos 2) in
+          let limit = min (Bytes.length payload) (ext_pos + 2 + ext_len) in
+          let n = parse_extensions ctx payload (ext_pos + 2) limit in
+          ignore (Ctx.branch ctx (site "ch:many-exts") (n > 4))
+        end
+        else Ctx.hit ctx (site "ch:no-exts");
+        true
+      end
+    end
+  end
+
+let handle_record ctx ~conn ~reply data =
+  let heap = ctx.Ctx.heap in
+  Ctx.hit ctx (site "packet");
+  if Ctx.branch ctx (site "rec:short") (Bytes.length data < 5) then ()
+  else begin
+    let ctype = Char.code (Bytes.get data 0) in
+    let rec_len = Option.value ~default:0 (Proto_util.read_be data ~pos:3 ~len:2) in
+    ignore (Ctx.branch ctx (site "rec:len-ok") (5 + rec_len = Bytes.length data));
+    if Ctx.branch ctx (site "rec:oversize") (rec_len > 16384) then
+      reply (make_record 21 (Bytes.of_string "\x02\x16" (* record_overflow *)))
+    else begin
+      match ctype with
+      | 22 ->
+        Ctx.hit ctx (site "rec:handshake");
+        if Ctx.branch ctx (site "hs:short") (Bytes.length data < 9) then ()
+        else begin
+          let hs_type = Char.code (Bytes.get data 5) in
+          let body = Bytes.sub data 9 (Bytes.length data - 9) in
+          match hs_type with
+          | 1 ->
+            Ctx.hit ctx (site "hs:client-hello");
+            if parse_client_hello ctx body then begin
+              Guest_heap.set_i32 heap (conn + f_state) 1;
+              Ctx.set_state ctx 1;
+              reply (make_record 22 (Bytes.of_string "\x02\x00\x00\x26server-hello"))
+            end
+            else begin
+              Ctx.set_state ctx 21;
+              reply (make_record 21 (Bytes.of_string "\x02\x32" (* decode_error *)))
+            end
+          | 11 -> Ctx.hit ctx (site "hs:certificate")
+          | 16 ->
+            Ctx.hit ctx (site "hs:client-key-exchange");
+            if Ctx.branch ctx (site "cke:early")
+                 (Guest_heap.get_i32 heap (conn + f_state) = 0)
+            then reply (make_record 21 (Bytes.of_string "\x02\x0a"))
+          | 20 -> Ctx.hit ctx (site "hs:finished")
+          | _ -> Ctx.hit ctx (site "hs:other")
+        end
+      | 20 ->
+        Ctx.hit ctx (site "rec:ccs");
+        if Ctx.branch ctx (site "ccs:order") (Guest_heap.get_i32 heap (conn + f_state) < 1)
+        then reply (make_record 21 (Bytes.of_string "\x02\x0a" (* unexpected *)))
+        else Guest_heap.set_i32 heap (conn + f_state) 2
+      | 21 ->
+        Ctx.hit ctx (site "rec:alert");
+        if Bytes.length data >= 7 then begin
+          let level = Char.code (Bytes.get data 5) in
+          ignore (Ctx.branch ctx (site "alert:fatal") (level = 2))
+        end
+      | 23 ->
+        Ctx.hit ctx (site "rec:appdata");
+        if Ctx.branch ctx (site "appdata:encrypted")
+             (Guest_heap.get_i32 heap (conn + f_state) = 2)
+        then reply (make_record 23 (Bytes.of_string "ok"))
+      | _ -> Ctx.hit ctx (site "rec:unknown")
+    end
+  end
+
+(* One TCP read may carry several TLS records: walk them by the record
+   length field. *)
+let on_packet ctx ~g:_ ~conn ~reply data =
+  Proto_util.iter_frames ~header_len:5
+    ~frame_len:(fun h -> Option.map (fun l -> 5 + l) (Proto_util.read_be h ~pos:3 ~len:2))
+    data
+    (fun frame -> handle_record ctx ~conn ~reply frame)
+
+let target =
+  {
+    Target.info =
+      {
+        Target.name;
+        role = Target.Server;
+        port = 4433;
+        proto = Nyx_netemu.Net.Tcp;
+        dissector = Nyx_pcap.Dissector.Raw;
+        startup_ns = 100_000_000;
+        work_ns = 650_000;
+        desock_compat = true;
+        forking = false;
+        max_recv = 17000;
+        dict = [ "\x16\x03\x03"; "\x01\x00"; "\x00\x2b"; "\x13\x01"; "\x03\x04" ];
+      };
+    hooks = { Target.default_hooks with conn_state_size = 8; on_packet };
+  }
+
+let seeds =
+  [
+    [
+      make_client_hello ~sni:"server.example.com" ();
+      make_record 20 (Bytes.of_string "\x01");
+      make_record 23 (Bytes.of_string "GET / HTTP/1.1");
+    ];
+    [ make_client_hello ~n_suites:8 () ];
+  ]

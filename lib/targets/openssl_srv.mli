@@ -1,0 +1,11 @@
+(** openssl analogue: TLS record and handshake parsing (s_server-style).
+
+    The paper's largest coverage surface (9,744 branches); ours is the
+    richest parser here — record layer, ClientHello with cipher-suite and
+    extension loops (SNI, ALPN, supported-versions, key-share...), alerts
+    and CCS. No planted bug; works under desock. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_client_hello : ?sni:string -> ?n_suites:int -> unit -> bytes

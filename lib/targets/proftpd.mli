@@ -1,0 +1,10 @@
+(** proftpd analogue: the largest FTP command surface plus SITE extensions.
+
+    Carries the deep stateful bug only Nyx-Net finds in the paper
+    (Table 1): after authenticating and STOR-ing a file, a
+    [SITE CHMOD <mode> <name>] on that same file with a mode above 0777
+    octal overflows a permissions table — reaching it needs a 5-packet
+    stateful sequence plus a crafted argument. *)
+
+val target : Target.t
+val seeds : bytes list list

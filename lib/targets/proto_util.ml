@@ -1,0 +1,71 @@
+let line_of b =
+  let s = Bytes.to_string b in
+  let len = String.length s in
+  if len >= 2 && s.[len - 2] = '\r' && s.[len - 1] = '\n' then String.sub s 0 (len - 2)
+  else if len >= 1 && (s.[len - 1] = '\n' || s.[len - 1] = '\r') then
+    String.sub s 0 (len - 1)
+  else s
+
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let upper = String.uppercase_ascii
+
+let starts_with_ci ~prefix s =
+  String.length s >= String.length prefix
+  && upper (String.sub s 0 (String.length prefix)) = upper prefix
+
+let read_be b ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > Bytes.length b then None
+  else begin
+    let v = ref 0 in
+    for i = 0 to len - 1 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b (pos + i))
+    done;
+    Some !v
+  end
+
+let byte_at b i =
+  if i < 0 || i >= Bytes.length b then None else Some (Char.code (Bytes.get b i))
+
+let int_of_string_bounded ?(max = max_int) s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 && v <= max -> Some v
+  | _ -> None
+
+let iter_frames ~header_len ~frame_len data f =
+  let len = Bytes.length data in
+  let rec next pos =
+    if pos >= len then ()
+    else if pos + header_len > len then f (Bytes.sub data pos (len - pos))
+    else begin
+      let header = Bytes.sub data pos header_len in
+      match frame_len header with
+      | Some total when total >= header_len && pos + total <= len ->
+        f (Bytes.sub data pos total);
+        next (pos + total)
+      | Some _ | None -> f (Bytes.sub data pos (len - pos))
+    end
+  in
+  next 0
+
+let find_blank_line s =
+  let len = String.length s in
+  let rec scan i =
+    if i + 3 < len && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else if i + 1 < len && s.[i] = '\n' && s.[i + 1] = '\n' then Some (i + 2)
+    else if i >= len then None
+    else scan (i + 1)
+  in
+  scan 0
+
+let header_value ~name s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+    if upper (String.sub s 0 i) = upper name then
+      Some (String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+    else None

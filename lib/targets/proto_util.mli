@@ -1,0 +1,43 @@
+(** Small parsing helpers shared by the protocol servers. *)
+
+val line_of : bytes -> string
+(** Payload as a string with one trailing CR/LF pair stripped. *)
+
+val tokens : string -> string list
+(** Split on runs of spaces/tabs. *)
+
+val upper : string -> string
+(** ASCII uppercase. *)
+
+val starts_with_ci : prefix:string -> string -> bool
+
+val read_be : bytes -> pos:int -> len:int -> int option
+(** Big-endian unsigned integer, [None] when out of range. *)
+
+val byte_at : bytes -> int -> int option
+
+val int_of_string_bounded : ?max:int -> string -> int option
+(** Parse a non-negative decimal integer, rejecting values above [max]
+    (default [max_int]) — servers must bound attacker-controlled sizes. *)
+
+val iter_frames :
+  header_len:int ->
+  frame_len:(bytes -> int option) ->
+  bytes ->
+  (bytes -> unit) ->
+  unit
+(** [iter_frames ~header_len ~frame_len data f] splits [data] into
+    length-framed protocol messages: [frame_len] inspects a frame's first
+    [header_len] bytes and returns the total frame size. [f] is called per
+    complete frame; a trailing partial frame (or an undecodable header) is
+    passed to [f] as-is and ends iteration — how stream parsers treat
+    truncated input. This is what lets binary targets consume several
+    PDUs from one coalesced TCP read. *)
+
+val find_blank_line : string -> int option
+(** Index just past the first blank line ([\r\n\r\n] or [\n\n]) separating
+    headers from body, if any. *)
+
+val header_value : name:string -> string -> string option
+(** [header_value ~name "Name: value"] extracts the value of a
+    ["Name: value"] header line, case-insensitive on the name. *)

@@ -1,0 +1,9 @@
+(** pure-ftpd analogue.
+
+    Its only latent fault is an internal upload-quota exhaustion (an OOM
+    behind an internal limit, the [*] footnote of Table 1): it needs 20
+    stored files to accumulate in one server process, which only fuzzers
+    that do not reset state between test cases (AFLNet-family) can reach. *)
+
+val target : Target.t
+val seeds : bytes list list

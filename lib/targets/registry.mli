@@ -1,0 +1,23 @@
+(** The target registry: every fuzz target with its seed traffic. *)
+
+type entry = {
+  target : Target.t;
+  seeds : bytes list list;
+      (** Seed sessions, each a list of logical client packets. *)
+}
+
+val profuzzbench : unit -> entry list
+(** The 13 ProFuzzBench-analogue servers (Table 1/2/3 order). *)
+
+val all : unit -> entry list
+(** ProFuzzBench targets plus [echo], [firefox-ipc], and the case-study
+    targets [mysql-client] (§5.4) and [lighttpd] (§5.5). *)
+
+val find : string -> entry option
+
+val seed_capture : entry -> Nyx_pcap.Capture.t
+(** Seed packets as a capture (the "Wireshark dump" of the workflow). *)
+
+val seed_programs : entry -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list
+(** Seeds converted to bytecode programs through the PCAP import
+    pipeline. *)

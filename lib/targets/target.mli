@@ -1,0 +1,68 @@
+(** Target definition and the shared server event loop.
+
+    A target is a protocol server "compiled" against the agent's hook
+    surface ({!Nyx_netemu.Net}) with instrumentation ({!Ctx}). All mutable
+    protocol state lives in guest memory (global block + per-connection
+    blocks), so snapshots genuinely reset it.
+
+    The {!pump} function is the server's main loop: it drains readiness
+    events until the target would block — exactly the point where the real
+    agent signals the hypervisor that the test step is complete. *)
+
+type role =
+  | Server  (** binds and accepts: the fuzzer connects in *)
+  | Client
+      (** connects out: the fuzzer impersonates the remote service, as in
+          the MySQL-client case study (§5.4) *)
+
+type info = {
+  name : string;
+  role : role;
+  port : int;
+  proto : Nyx_netemu.Net.proto;
+  dissector : Nyx_pcap.Dissector.t;
+  startup_ns : int;  (** simulated process initialization cost *)
+  work_ns : int;  (** per-packet base compute cost *)
+  desock_compat : bool;
+      (** whether libpreeny's desock emulation can drive this target
+          (single TCP connection, no early server banner) — Table 2's
+          n/a rows are targets where this is false *)
+  forking : bool;  (** forks a worker per connection (forked-daapd) *)
+  max_recv : int;
+  dict : string list;
+      (** protocol tokens for the mutators — the dictionary a fuzzing
+          campaign against this protocol would ship (AFLNet bundles
+          protocol templates; AFL users pass -x dictionaries) *)
+}
+
+type hooks = {
+  global_state_size : int;
+  conn_state_size : int;
+  on_init : Ctx.t -> g:int -> unit;
+  on_connect : Ctx.t -> g:int -> conn:int -> reply:(bytes -> unit) -> unit;
+  on_packet : Ctx.t -> g:int -> conn:int -> reply:(bytes -> unit) -> bytes -> unit;
+  on_disconnect : Ctx.t -> g:int -> conn:int -> unit;
+}
+
+type t = { info : info; hooks : hooks }
+
+val default_hooks : hooks
+(** No-op hooks with minimal state sizes; override what you need. *)
+
+type runtime
+
+val boot : t -> Ctx.t -> runtime
+(** Simulate process startup: charge [startup_ns], allocate state in the
+    guest heap, run [on_init], create and bind the listening socket. The
+    root snapshot is taken after this returns. *)
+
+val pump : runtime -> unit
+(** Drain all pending events (accepts, packets, EOFs) until the server
+    would block. Crashes propagate as {!Ctx.Crash},
+    {!Nyx_vm.Guest_heap.Heap_oob} or {!Nyx_vm.Memory.Fault}. A run-away
+    loop raises {!Ctx.Crash} with kind ["hang"]. *)
+
+val ctx : runtime -> Ctx.t
+val target : runtime -> t
+val sample_capture_of_packets : ?stream:int -> bytes list -> Nyx_pcap.Capture.t
+(** Helper for targets' canned seed traffic. *)

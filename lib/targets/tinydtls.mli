@@ -1,0 +1,11 @@
+(** tinydtls analogue: DTLS record and handshake parsing over UDP.
+
+    Carries the fragment-length underflow every fuzzer finds (Table 1):
+    a handshake fragment whose [fragment_length] exceeds the declared
+    message [length] underflows the reassembly arithmetic. *)
+
+val target : Target.t
+val seeds : bytes list list
+
+val make_client_hello : ?with_cookie:bool -> unit -> bytes
+(** A well-formed ClientHello record (seed/test helper). *)

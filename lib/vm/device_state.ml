@@ -1,0 +1,30 @@
+type t = { blob : Bytes.t }
+
+let create ~size = { blob = Bytes.make size '\000' }
+
+let size t = Bytes.length t.blob
+
+let write t off data =
+  if off < 0 || off + Bytes.length data > Bytes.length t.blob then
+    invalid_arg "Device_state.write: out of range";
+  Bytes.blit data 0 t.blob off (Bytes.length data)
+
+let read t off len =
+  if off < 0 || off + len > Bytes.length t.blob then
+    invalid_arg "Device_state.read: out of range";
+  Bytes.sub t.blob off len
+
+let capture t = Bytes.copy t.blob
+
+let apply t saved =
+  if Bytes.length saved <> Bytes.length t.blob then
+    invalid_arg "Device_state.restore: size mismatch";
+  Bytes.blit saved 0 t.blob 0 (Bytes.length saved)
+
+let restore_fast t clock saved =
+  Nyx_sim.Clock.advance clock Nyx_sim.Cost.device_fast_reset;
+  apply t saved
+
+let restore_serialized t clock saved =
+  Nyx_sim.Clock.advance clock Nyx_sim.Cost.device_serialize_reset;
+  apply t saved

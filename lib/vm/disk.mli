@@ -1,0 +1,41 @@
+(** Emulated block device with snapshot overlays.
+
+    Mirrors §4.2: reads consult the incremental overlay first (the "second
+    caching layer" of dirtied sectors), then the root overlay of sectors
+    dirtied since boot, then the base image — each a hashmap lookup.
+    Restoring the root snapshot discards both overlays; creating an
+    incremental snapshot freezes the running overlay as the incremental
+    layer. Sector operations charge {!Nyx_sim.Cost.disk_sector_op}. *)
+
+type t
+
+val create : ?sector_size:int -> sectors:int -> Nyx_sim.Clock.t -> t
+val sectors : t -> int
+val sector_size : t -> int
+
+val write_base : t -> int -> bytes -> unit
+(** Populate the base image before the root snapshot is taken. *)
+
+val read_sector : t -> int -> bytes
+val write_sector : t -> int -> bytes -> unit
+(** Guest I/O during execution. @raise Invalid_argument on bad sector. *)
+
+val dirty_sectors : t -> int
+(** Sectors in the running overlay (dirtied since the last snapshot
+    boundary). *)
+
+(** {1 Snapshot-engine interface} *)
+
+val discard_overlays : t -> unit
+(** Root-snapshot restore: drop both overlays. *)
+
+val freeze_incremental : t -> unit
+(** Incremental-snapshot create: current overlay becomes the incremental
+    layer; a fresh running overlay starts empty. *)
+
+val reset_to_incremental : t -> unit
+(** Incremental-snapshot restore: drop only the running overlay. *)
+
+val drop_incremental : t -> unit
+(** Discard the incremental layer, folding nothing back (used when the
+    fuzzer returns to the root snapshot). *)

@@ -1,0 +1,59 @@
+type t = { mem : Memory.t; clock : Nyx_sim.Clock.t }
+
+exception Out_of_memory
+exception Heap_oob of { base : int; off : int; len : int }
+
+(* Guest address 0 holds the break pointer; allocations start at 16. *)
+let brk_addr = 0
+let heap_start = 16
+
+let init mem clock =
+  let t = { mem; clock } in
+  if Memory.read_i64 mem brk_addr = 0 then Memory.write_i64 mem brk_addr heap_start;
+  t
+
+let memory t = t.mem
+
+let charge t n =
+  Nyx_sim.Clock.advance t.clock (Nyx_sim.Cost.guest_mem_op + Nyx_sim.Cost.guest_mem_per_byte n)
+
+let align8 n = (n + 7) land lnot 7
+
+let alloc t n =
+  if n < 0 then invalid_arg "Guest_heap.alloc: negative size";
+  let brk = Memory.read_i64 t.mem brk_addr in
+  let total = 8 + align8 n in
+  if brk + total > Memory.size_bytes t.mem then raise Out_of_memory;
+  Memory.write_i64 t.mem brk n;
+  Memory.write_i64 t.mem brk_addr (brk + total);
+  charge t total;
+  brk + 8
+
+let size_of t base = Memory.read_i64 t.mem (base - 8)
+
+let get_u8 t a = charge t 1; Memory.read_u8 t.mem a
+let set_u8 t a v = charge t 1; Memory.write_u8 t.mem a v
+let get_u16 t a = charge t 2; Memory.read_u16 t.mem a
+let set_u16 t a v = charge t 2; Memory.write_u16 t.mem a v
+let get_i32 t a = charge t 4; Memory.read_i32 t.mem a
+let set_i32 t a v = charge t 4; Memory.write_i32 t.mem a v
+let get_i64 t a = charge t 8; Memory.read_i64 t.mem a
+let set_i64 t a v = charge t 8; Memory.write_i64 t.mem a v
+
+let get_bytes t a len =
+  charge t len;
+  Memory.read t.mem a len
+
+let set_bytes t a b =
+  charge t (Bytes.length b);
+  Memory.write t.mem a b
+
+let checked_get t ~base ~off ~len =
+  if off < 0 || len < 0 || off + len > size_of t base then
+    raise (Heap_oob { base; off; len });
+  get_bytes t (base + off) len
+
+let checked_set t ~base ~off data =
+  let len = Bytes.length data in
+  if off < 0 || off + len > size_of t base then raise (Heap_oob { base; off; len });
+  set_bytes t (base + off) data

@@ -1,0 +1,55 @@
+(** Guest heap: typed, cost-charged access to state living in guest memory.
+
+    Targets keep {e all} mutable protocol state in guest memory through this
+    API so that dirty-page tracking and snapshot restore genuinely reset
+    them (DESIGN.md §4). The allocator is a bump allocator whose break
+    pointer itself lives at guest address 0, so allocations made during a
+    test case are rolled back by a snapshot restore like any other state.
+
+    Each allocation carries an 8-byte size header (also in guest memory),
+    enabling the bounds-checked accessors that model ASan: Table 1's dcmtk
+    crash is only reliably detected when such checking is enabled. *)
+
+type t
+
+exception Out_of_memory
+exception Heap_oob of { base : int; off : int; len : int }
+(** Raised by checked accessors on an out-of-bounds access — the ASan
+    analogue. *)
+
+val init : Memory.t -> Nyx_sim.Clock.t -> t
+(** Wrap a memory; initializes the break pointer on first use. *)
+
+val memory : t -> Memory.t
+
+val alloc : t -> int -> int
+(** [alloc t n] returns the guest address of a fresh [n]-byte region.
+    @raise Out_of_memory when the guest address space is exhausted. *)
+
+val size_of : t -> int -> int
+(** Allocation size recorded in the header of a region returned by
+    {!alloc}. *)
+
+(** {1 Charged accessors}
+
+    Each call charges {!Nyx_sim.Cost.guest_mem_op} plus a per-byte cost. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_i32 : t -> int -> int
+val set_i32 : t -> int -> int -> unit
+val get_i64 : t -> int -> int
+val set_i64 : t -> int -> int -> unit
+val get_bytes : t -> int -> int -> bytes
+val set_bytes : t -> int -> bytes -> unit
+
+(** {1 Bounds-checked (ASan-style) accessors} *)
+
+val checked_get : t -> base:int -> off:int -> len:int -> bytes
+(** @raise Heap_oob when [off + len] exceeds the allocation size of
+    [base]. *)
+
+val checked_set : t -> base:int -> off:int -> bytes -> unit
+(** @raise Heap_oob on overflow of the allocation. *)

@@ -1,0 +1,126 @@
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  num_pages : int;
+  dirty : Dirty_log.t;
+}
+
+exception Fault of { addr : int; size : int }
+
+let create ~num_pages =
+  { pages = Hashtbl.create 256; num_pages; dirty = Dirty_log.create ~num_pages }
+
+let num_pages t = t.num_pages
+let size_bytes t = t.num_pages * Page.size
+let dirty t = t.dirty
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > size_bytes t then
+    raise (Fault { addr; size = len })
+
+let materialize t pfn =
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> p
+  | None ->
+    let p = Page.zero () in
+    Hashtbl.replace t.pages pfn p;
+    p
+
+let read t addr len =
+  check t addr len;
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pfn = Page.number a and off = Page.offset a in
+    let chunk = min (len - !pos) (Page.size - off) in
+    (match Hashtbl.find_opt t.pages pfn with
+    | Some p -> Bytes.blit p off out !pos chunk
+    | None -> Bytes.fill out !pos chunk '\000');
+    pos := !pos + chunk
+  done;
+  out
+
+let write t addr data =
+  let len = Bytes.length data in
+  check t addr len;
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pfn = Page.number a and off = Page.offset a in
+    let chunk = min (len - !pos) (Page.size - off) in
+    let p = materialize t pfn in
+    Bytes.blit data !pos p off chunk;
+    ignore (Dirty_log.mark t.dirty pfn);
+    pos := !pos + chunk
+  done
+
+let read_u8 t addr = Char.code (Bytes.get (read t addr 1) 0)
+
+let write_u8 t addr v =
+  let b = Bytes.create 1 in
+  Bytes.set b 0 (Char.chr (v land 0xff));
+  write t addr b
+
+let read_u16 t addr =
+  let b = read t addr 2 in
+  Char.code (Bytes.get b 0) lor (Char.code (Bytes.get b 1) lsl 8)
+
+let write_u16 t addr v =
+  let b = Bytes.create 2 in
+  Bytes.set b 0 (Char.chr (v land 0xff));
+  Bytes.set b 1 (Char.chr ((v lsr 8) land 0xff));
+  write t addr b
+
+let read_i32 t addr =
+  let b = read t addr 4 in
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  (* Sign-extend from 32 bits. *)
+  (!v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+let write_i32 t addr v =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+  done;
+  write t addr b
+
+let read_i64 t addr =
+  let b = read t addr 8 in
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b i)))
+  done;
+  Int64.to_int !v
+
+let write_i64 t addr v =
+  let b = Bytes.create 8 in
+  let v64 = Int64.of_int v in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v64 (8 * i)) 0xFFL) in
+    Bytes.set b i (Char.chr byte)
+  done;
+  write t addr b
+
+let clear_dirty t = Dirty_log.clear t.dirty
+
+let page_content t pfn =
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> Some (Bytes.copy p)
+  | None -> None
+
+let set_page t pfn content =
+  if Bytes.length content <> Page.size then
+    invalid_arg "Memory.set_page: wrong page size";
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> Bytes.blit content 0 p 0 Page.size
+  | None -> Hashtbl.replace t.pages pfn (Bytes.copy content)
+
+let drop_page t pfn = Hashtbl.remove t.pages pfn
+
+let materialized t =
+  Hashtbl.to_seq t.pages
+
+let materialized_count t = Hashtbl.length t.pages

@@ -1,0 +1,5 @@
+let size = 512
+let shift = 9
+let number addr = addr lsr shift
+let offset addr = addr land (size - 1)
+let zero () = Bytes.make size '\000'

@@ -1,0 +1,21 @@
+(** Guest page geometry.
+
+    Real KVM guests use 4 KiB pages; we use 512-byte pages so that the
+    page *counts* of the paper's VM configurations (512 MB and 4 GB)
+    stay faithful while host memory usage stays laptop-scale. All snapshot
+    asymptotics are in pages, not bytes, so this preserves behaviour. *)
+
+val size : int
+(** Bytes per page (512). *)
+
+val shift : int
+(** log2 [size]. *)
+
+val number : int -> int
+(** Page frame number of a guest-physical address. *)
+
+val offset : int -> int
+(** Offset of an address within its page. *)
+
+val zero : unit -> bytes
+(** A fresh all-zero page. *)

@@ -1,0 +1,25 @@
+type config = { mem_pages : int; device_size : int; disk_sectors : int }
+
+let fuzz_config = { mem_pages = 32_768; device_size = 4_096; disk_sectors = 1_024 }
+let small_config = { mem_pages = 131_072; device_size = 4_096; disk_sectors = 1_024 }
+let large_config = { mem_pages = 1_048_576; device_size = 4_096; disk_sectors = 1_024 }
+
+type t = {
+  mem : Memory.t;
+  heap : Guest_heap.t;
+  device : Device_state.t;
+  disk : Disk.t;
+  clock : Nyx_sim.Clock.t;
+}
+
+let create ?(config = fuzz_config) clock =
+  let mem = Memory.create ~num_pages:config.mem_pages in
+  {
+    mem;
+    heap = Guest_heap.init mem clock;
+    device = Device_state.create ~size:config.device_size;
+    disk = Disk.create ~sectors:config.disk_sectors clock;
+    clock;
+  }
+
+let dirty_pages t = Dirty_log.count (Memory.dirty t.mem)

@@ -1,0 +1,33 @@
+(** A simulated virtual machine: guest memory, device state, and disk,
+    sharing one virtual clock. This is the substrate the snapshot engines
+    operate on, substituting for the paper's KVM/QEMU VM (DESIGN.md §1). *)
+
+type config = {
+  mem_pages : int;
+  device_size : int;  (** bytes of emulated-device state *)
+  disk_sectors : int;
+}
+
+val fuzz_config : config
+(** Small guest used for fuzzing campaigns (32 Ki pages). *)
+
+val small_config : config
+(** The paper's 512 MB VM: 131,072 pages (Figure 6). *)
+
+val large_config : config
+(** The paper's 4 GB VM: 1,048,576 pages (Figure 6). *)
+
+type t = {
+  mem : Memory.t;
+  heap : Guest_heap.t;
+  device : Device_state.t;
+  disk : Disk.t;
+  clock : Nyx_sim.Clock.t;
+}
+
+val create : ?config:config -> Nyx_sim.Clock.t -> t
+(** Fresh VM with all-zero memory ([config] defaults to
+    {!fuzz_config}). *)
+
+val dirty_pages : t -> int
+(** Pages dirtied since the last {!Memory.clear_dirty}. *)

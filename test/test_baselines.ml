@@ -1,0 +1,191 @@
+open Nyx_core
+open Nyx_baselines
+
+let check_int = Alcotest.(check int)
+
+let entry name = Option.get (Nyx_targets.Registry.find name)
+
+let seed_program name =
+  let ns = Campaign.net_spec () in
+  List.hd (Campaign.make_seeds (entry name) ns)
+
+(* Bexec *)
+
+let test_desock_incompatibility () =
+  Alcotest.(check bool) "dcmtk incompatible" true
+    (match Bexec.create ~mode:Bexec.Desock (entry "dcmtk").Nyx_targets.Registry.target with
+    | exception Bexec.Incompatible _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "dnsmasq compatible" true
+    (match Bexec.create ~mode:Bexec.Desock (entry "dnsmasq").Nyx_targets.Registry.target with
+    | exception Bexec.Incompatible _ -> false
+    | _ -> true)
+
+let test_aflnet_exec_is_slow () =
+  (* The same seed input on the same target: the restart-based AFLNet
+     executor pays orders of magnitude more virtual time than Nyx-Net. *)
+  let tgt = entry "lightftp" in
+  let p = seed_program "lightftp" in
+  let b = Bexec.create ~mode:Bexec.Aflnet tgt.Nyx_targets.Registry.target in
+  let rb = Bexec.run b p in
+  let ns = Campaign.net_spec () in
+  let nyx = Executor.create ~net_spec:ns tgt.Nyx_targets.Registry.target in
+  let rn = Executor.run_full nyx p in
+  Alcotest.(check bool)
+    (Printf.sprintf "aflnet %d ns vs nyx %d ns" rb.Report.exec_ns rn.Report.exec_ns)
+    true
+    (rb.Report.exec_ns > 20 * rn.Report.exec_ns)
+
+let test_aflnet_resets_memory_but_not_disk () =
+  (* echo's MODE state lives in memory: it must reset between execs. *)
+  let tgt = entry "echo" in
+  let b = Bexec.create ~mode:Bexec.Aflnet tgt.Nyx_targets.Registry.target in
+  let ns = Campaign.net_spec () in
+  let mode_raw = Nyx_spec.Net_spec.seed_of_packets ns [ Bytes.of_string "MODE raw\r\n" ] in
+  let boom = Nyx_spec.Net_spec.seed_of_packets ns [ Bytes.of_string "BOOM\r\n" ] in
+  ignore (Bexec.run b mode_raw);
+  let r = Bexec.run b boom in
+  Alcotest.(check bool) "memory state reset across execs" true (r.Report.status = Report.Pass)
+
+let test_aflnet_accumulates_dcmtk_corruption () =
+  (* The dcmtk spool lives on disk, which AFLNet's cleanup misses: three
+     corrupting test cases crash, each one individually harmless. *)
+  let tgt = entry "dcmtk" in
+  let b = Bexec.create ~layout_cookie:1 ~mode:Bexec.Aflnet tgt.Nyx_targets.Registry.target in
+  let ns = Campaign.net_spec () in
+  let corruptor =
+    Nyx_spec.Net_spec.seed_of_packets ns
+      [
+        Nyx_targets.Dcmtk.make_associate_rq ();
+        Nyx_targets.Dcmtk.make_pdu 4 (Bytes.of_string "\x00\x08\x00\x18\xff\xffXXXX");
+      ]
+  in
+  let r1 = Bexec.run b corruptor in
+  Alcotest.(check bool) "first run silent" true (r1.Report.status = Report.Pass);
+  let r2 = Bexec.run b corruptor in
+  Alcotest.(check bool) "second run silent" true (r2.Report.status = Report.Pass);
+  let r3 = Bexec.run b corruptor in
+  (match r3.Report.status with
+  | Report.Crash { kind; _ } -> Alcotest.(check string) "third crashes" "heap-corruption" kind
+  | _ -> Alcotest.fail "expected accumulated crash");
+  (* Nyx-Net's whole-VM snapshot resets the spool every exec: no crash. *)
+  let nyx =
+    Executor.create ~layout_cookie:1 ~net_spec:ns tgt.Nyx_targets.Registry.target
+  in
+  for _ = 1 to 5 do
+    let r = Executor.run_full nyx corruptor in
+    Alcotest.(check bool) "nyx never accumulates" true (r.Report.status = Report.Pass)
+  done
+
+let test_blob_mode_loses_boundaries () =
+  (* lightftp parses line-based commands: the desock'd blob replay merges
+     them into one read and most commands are lost. *)
+  let tgt = entry "lightftp" in
+  let p = seed_program "lightftp" in
+  let aflnet = Bexec.create ~mode:Bexec.Aflnet tgt.Nyx_targets.Registry.target in
+  ignore (Bexec.run aflnet p);
+  let packet_cov = Nyx_targets.Coverage.edge_count (Bexec.coverage aflnet) in
+  let ns = Campaign.net_spec () in
+  let desock = Bexec.create ~mode:Bexec.Desock tgt.Nyx_targets.Registry.target in
+  ignore (Bexec.run desock (Blind_campaign.blob_of_program ns p));
+  let blob_cov = Nyx_targets.Coverage.edge_count (Bexec.coverage desock) in
+  Alcotest.(check bool)
+    (Printf.sprintf "boundary-aware %d edges > blob %d edges" packet_cov blob_cov)
+    true (packet_cov > blob_cov)
+
+let test_blob_of_program () =
+  let ns = Campaign.net_spec () in
+  let p =
+    Nyx_spec.Net_spec.seed_of_packets ns [ Bytes.of_string "AB"; Bytes.of_string "CD" ]
+  in
+  let blob = Blind_campaign.blob_of_program ns p in
+  check_int "connect + one packet" 2 (Array.length blob.Nyx_spec.Program.ops);
+  Alcotest.(check string) "payload concatenated" "ABCD"
+    (Bytes.to_string blob.Nyx_spec.Program.ops.(1).Nyx_spec.Program.data.(0))
+
+(* Blind campaigns *)
+
+let run_fuzzer spec name =
+  Fuzzers.run spec ~budget_ns:10_000_000_000 ~max_execs:300 ~seed:3 (entry name)
+
+let test_aflnet_campaign_runs () =
+  match run_fuzzer Fuzzers.aflnet "lightftp" with
+  | None -> Alcotest.fail "aflnet must run lightftp"
+  | Some r ->
+    Alcotest.(check string) "fuzzer name" "aflnet" r.Report.fuzzer;
+    Alcotest.(check bool) "made progress" true (r.Report.final_edges > 0);
+    Alcotest.(check bool) "slow throughput" true (r.Report.execs_per_sec < 100.0)
+
+let test_aflpp_reports_na () =
+  Alcotest.(check bool) "n/a on proftpd" true (run_fuzzer Fuzzers.aflpp_preeny "proftpd" = None);
+  Alcotest.(check bool) "runs on openssl" true (run_fuzzer Fuzzers.aflpp_preeny "openssl" <> None)
+
+let test_all_baselines_deterministic () =
+  List.iter
+    (fun spec ->
+      match (run_fuzzer spec "dnsmasq", run_fuzzer spec "dnsmasq") with
+      | Some a, Some b ->
+        check_int (spec.Fuzzers.name ^ " execs") a.Report.execs b.Report.execs;
+        check_int (spec.Fuzzers.name ^ " edges") a.Report.final_edges b.Report.final_edges
+      | _ -> Alcotest.fail "dnsmasq must run everywhere")
+    Fuzzers.all
+
+let test_nyx_outperforms_aflnet_on_throughput () =
+  let e = entry "lightftp" in
+  let budget = 10_000_000_000 in
+  let aflnet =
+    Option.get (Fuzzers.run Fuzzers.aflnet ~budget_ns:budget ~max_execs:100_000 ~seed:1 e)
+  in
+  let nyx =
+    Campaign.run
+      {
+        Campaign.default_config with
+        Campaign.budget_ns = budget;
+        max_execs = 100_000;
+        policy = Policy.Aggressive;
+      }
+      e
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "nyx %.0f execs/s >> aflnet %.0f execs/s" nyx.Report.execs_per_sec
+       aflnet.Report.execs_per_sec)
+    true
+    (nyx.Report.execs_per_sec > 20.0 *. aflnet.Report.execs_per_sec)
+
+(* IJON on Mario *)
+
+let test_ijon_runs_mario () =
+  let level = Option.get (Nyx_mario.Level.find "1-1") in
+  let entry =
+    {
+      Nyx_targets.Registry.target = Nyx_mario.Mario_target.target level;
+      seeds = Nyx_mario.Mario_target.seeds level;
+    }
+  in
+  match Fuzzers.ijon ~budget_ns:60_000_000_000 ~max_execs:500 ~seed:1 entry with
+  | None -> Alcotest.fail "ijon must run mario"
+  | Some r ->
+    Alcotest.(check bool) "position feedback produces coverage" true
+      (r.Report.final_edges > 10)
+
+let () =
+  Alcotest.run "nyx_baselines"
+    [
+      ( "bexec",
+        [
+          Alcotest.test_case "desock compat" `Quick test_desock_incompatibility;
+          Alcotest.test_case "aflnet slow" `Quick test_aflnet_exec_is_slow;
+          Alcotest.test_case "memory reset, disk kept" `Quick test_aflnet_resets_memory_but_not_disk;
+          Alcotest.test_case "dcmtk accumulation" `Quick test_aflnet_accumulates_dcmtk_corruption;
+          Alcotest.test_case "blob loses boundaries" `Quick test_blob_mode_loses_boundaries;
+          Alcotest.test_case "blob_of_program" `Quick test_blob_of_program;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "aflnet runs" `Quick test_aflnet_campaign_runs;
+          Alcotest.test_case "afl++ n/a" `Quick test_aflpp_reports_na;
+          Alcotest.test_case "deterministic" `Quick test_all_baselines_deterministic;
+          Alcotest.test_case "throughput gap" `Quick test_nyx_outperforms_aflnet_on_throughput;
+          Alcotest.test_case "ijon mario" `Quick test_ijon_runs_mario;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+open Nyx_pcap
+
+let b = Bytes.of_string
+let check_int = Alcotest.(check int)
+
+let mk_capture records =
+  List.fold_left Capture.add Capture.empty records
+
+let rec_ ?(stream = 0) ?(dir = Capture.To_server) ?(ts = 0) payload =
+  { Capture.stream; dir; ts_us = ts; payload = b payload }
+
+(* Capture container *)
+
+let test_capture_roundtrip () =
+  let cap =
+    mk_capture
+      [
+        rec_ ~ts:0 "USER x\r\n";
+        rec_ ~dir:Capture.To_client ~ts:10 "331 ok\r\n";
+        rec_ ~stream:1 ~ts:20 "QUIT\r\n";
+      ]
+  in
+  match Capture.parse (Capture.serialize cap) with
+  | Error m -> Alcotest.fail m
+  | Ok cap' ->
+    check_int "record count" 3 (List.length cap'.Capture.records);
+    Alcotest.(check bool) "identical" true (cap = cap')
+
+let test_capture_streams () =
+  let cap = mk_capture [ rec_ ~stream:5 "a"; rec_ ~stream:2 "b"; rec_ ~stream:5 "c" ] in
+  Alcotest.(check (list int)) "first-seen order" [ 5; 2 ] (Capture.streams cap);
+  check_int "stream 5 records" 2 (List.length (Capture.stream_records cap 5))
+
+let test_capture_direction_filter () =
+  let cap =
+    mk_capture [ rec_ "req"; rec_ ~dir:Capture.To_client "resp"; rec_ "req2" ]
+  in
+  check_int "to-server only" 2
+    (List.length (Capture.stream_records cap ~dir:Capture.To_server 0))
+
+let test_capture_rejects_garbage () =
+  Alcotest.(check bool) "bad magic" true
+    (Result.is_error (Capture.parse (b "garbage data here")));
+  let valid = Capture.serialize (mk_capture [ rec_ "x" ]) in
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Capture.parse (Bytes.sub valid 0 (Bytes.length valid - 1))))
+
+let test_capture_file_io () =
+  let path = Filename.temp_file "nyx" ".npcap" in
+  let cap = mk_capture [ rec_ "hello" ] in
+  Capture.save cap path;
+  (match Capture.load path with
+  | Ok cap' -> Alcotest.(check bool) "roundtrip via file" true (cap = cap')
+  | Error m -> Alcotest.fail m);
+  Sys.remove path
+
+(* Dissectors *)
+
+let strs = List.map Bytes.to_string
+
+let test_dissector_raw () =
+  Alcotest.(check (list string)) "records pass through" [ "ab"; "cd" ]
+    (strs (Dissector.split Dissector.Raw [ b "ab"; b "cd" ]))
+
+let test_dissector_crlf () =
+  Alcotest.(check (list string)) "split at CRLF"
+    [ "USER x\r\n"; "PASS y\r\n"; "partial" ]
+    (strs (Dissector.split Dissector.Crlf [ b "USER x\r\nPASS"; b " y\r\npartial" ]))
+
+let test_dissector_crlf_empty_lines () =
+  Alcotest.(check (list string)) "consecutive CRLF" [ "\r\n"; "a\r\n" ]
+    (strs (Dissector.split Dissector.Crlf [ b "\r\na\r\n" ]))
+
+let test_dissector_length_prefixed () =
+  (* 2-byte BE length prefix. *)
+  let packet body =
+    let len = String.length body in
+    Printf.sprintf "%c%c%s" (Char.chr (len lsr 8)) (Char.chr (len land 0xff)) body
+  in
+  let stream = packet "AAAA" ^ packet "BB" in
+  Alcotest.(check (list string)) "framed"
+    [ packet "AAAA"; packet "BB" ]
+    (strs (Dissector.split (Dissector.Length_prefixed 2) [ b stream ]));
+  (* Trailing bytes that do not form a packet become a final fragment. *)
+  let ragged = packet "AA" ^ "\x00\xff" in
+  Alcotest.(check (list string)) "ragged tail"
+    [ packet "AA"; "\x00\xff" ]
+    (strs (Dissector.split (Dissector.Length_prefixed 2) [ b ragged ]))
+
+let test_dissector_of_string () =
+  Alcotest.(check bool) "crlf" true (Dissector.of_string "crlf" = Ok Dissector.Crlf);
+  Alcotest.(check bool) "len4" true
+    (Dissector.of_string "len4" = Ok (Dissector.Length_prefixed 4));
+  Alcotest.(check bool) "unknown" true (Result.is_error (Dissector.of_string "nope"))
+
+(* Importer *)
+
+let test_importer_single_stream () =
+  let ns = Nyx_spec.Net_spec.create () in
+  let cap =
+    mk_capture
+      [ rec_ "USER x\r\nPASS"; rec_ ~dir:Capture.To_client "331\r\n"; rec_ " y\r\n" ]
+  in
+  let p = Importer.to_seed ns Dissector.Crlf cap in
+  Alcotest.(check bool) "valid program" true
+    (Result.is_ok (Nyx_spec.Program.validate p));
+  (* connect + 2 dissected packets; server traffic ignored. *)
+  check_int "ops" 3 (Array.length p.Nyx_spec.Program.ops)
+
+let test_importer_multi_stream () =
+  let ns = Nyx_spec.Net_spec.create () in
+  let cap = mk_capture [ rec_ ~stream:0 "a"; rec_ ~stream:1 "b"; rec_ ~stream:0 "c" ] in
+  let p = Importer.to_seed ns Dissector.Raw cap in
+  let connects =
+    Array.to_list p.Nyx_spec.Program.ops
+    |> List.filter (fun (op : Nyx_spec.Program.op) ->
+           op.Nyx_spec.Program.node = ns.Nyx_spec.Net_spec.connect.Nyx_spec.Spec.nt_id)
+  in
+  check_int "one connect per stream" 2 (List.length connects)
+
+let test_importer_empty_capture () =
+  let ns = Nyx_spec.Net_spec.create () in
+  let p = Importer.to_seed ns Dissector.Raw Capture.empty in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Nyx_spec.Program.validate p))
+
+let prop_capture_roundtrip =
+  QCheck.Test.make ~name:"capture serialize/parse roundtrip" ~count:100
+    QCheck.(
+      small_list
+        (triple (int_bound 3) bool (string_of_size Gen.(int_range 0 32))))
+    (fun raw ->
+      let cap =
+        mk_capture
+          (List.mapi
+             (fun i (stream, to_server, payload) ->
+               {
+                 Capture.stream;
+                 dir = (if to_server then Capture.To_server else Capture.To_client);
+                 ts_us = i;
+                 payload = Bytes.of_string payload;
+               })
+             raw)
+      in
+      Capture.parse (Capture.serialize cap) = Ok cap)
+
+let prop_crlf_concat_identity =
+  QCheck.Test.make ~name:"crlf fragments concatenate back to the stream" ~count:200
+    QCheck.(small_list (string_of_size Gen.(int_range 0 16)))
+    (fun chunks ->
+      let records = List.map Bytes.of_string chunks in
+      let whole = String.concat "" chunks in
+      let parts = Dissector.split Dissector.Crlf records in
+      String.concat "" (List.map Bytes.to_string parts) = whole)
+
+let prop_length_prefixed_concat_identity =
+  QCheck.Test.make ~name:"length-prefixed fragments concatenate back" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s ->
+      let parts = Dissector.split (Dissector.Length_prefixed 2) [ Bytes.of_string s ] in
+      String.concat "" (List.map Bytes.to_string parts) = s)
+
+let () =
+  Alcotest.run "nyx_pcap"
+    [
+      ( "capture",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_capture_roundtrip;
+          Alcotest.test_case "streams" `Quick test_capture_streams;
+          Alcotest.test_case "direction" `Quick test_capture_direction_filter;
+          Alcotest.test_case "garbage" `Quick test_capture_rejects_garbage;
+          Alcotest.test_case "file io" `Quick test_capture_file_io;
+          QCheck_alcotest.to_alcotest prop_capture_roundtrip;
+        ] );
+      ( "dissector",
+        [
+          Alcotest.test_case "raw" `Quick test_dissector_raw;
+          Alcotest.test_case "crlf" `Quick test_dissector_crlf;
+          Alcotest.test_case "crlf empty lines" `Quick test_dissector_crlf_empty_lines;
+          Alcotest.test_case "length prefixed" `Quick test_dissector_length_prefixed;
+          Alcotest.test_case "of_string" `Quick test_dissector_of_string;
+          QCheck_alcotest.to_alcotest prop_crlf_concat_identity;
+          QCheck_alcotest.to_alcotest prop_length_prefixed_concat_identity;
+        ] );
+      ( "importer",
+        [
+          Alcotest.test_case "single stream" `Quick test_importer_single_stream;
+          Alcotest.test_case "multi stream" `Quick test_importer_multi_stream;
+          Alcotest.test_case "empty" `Quick test_importer_empty_capture;
+        ] );
+    ]
