@@ -1,0 +1,27 @@
+# Convenience entry points; see README.md for the full bench matrix.
+
+.PHONY: all check build test bench-smoke bench clean
+
+all: check
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Tier-1 verify: what CI runs.
+check:
+	dune build @all && dune runtest
+
+# Tiny-budget parallel smoke bench: measures the NYX_DOMAINS speedup on
+# small fleets, checks parallel==sequential, writes BENCH_parallel.json.
+bench-smoke:
+	NYX_BENCH_SMOKE_BUDGET_S=2 NYX_BENCH_FLEET=4 dune exec bench/main.exe -- parallel_smoke
+
+# The full paper evaluation (slow).
+bench:
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

@@ -5,14 +5,21 @@
    Usage:  dune exec bench/main.exe [-- EXPERIMENT...]
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
-                ablation_remirror bechamel all
+                ablation_remirror bechamel parallel_smoke all
    Environment:
      NYX_BENCH_BUDGET_S    virtual seconds per campaign (default 20)
      NYX_BENCH_REPS        repetitions per cell (default 1; paper used 10)
      NYX_BENCH_MAX_EXECS   execution cap per campaign (default 30000)
      NYX_BENCH_MARIO       comma-separated levels for table4
                            (default "1-1,1-2,1-3,1-4,2-1"; "all" = 32 levels)
-     NYX_BENCH_OUT         CSV output directory (default "bench_out") *)
+     NYX_BENCH_OUT         CSV output directory (default "bench_out")
+     NYX_DOMAINS           worker domains for matrix cells / fleets
+                           (default: recommended count; 1 = sequential).
+                           Tables and CSVs are byte-identical either way:
+                           cells are deterministic functions of the seed
+                           and results merge in submission order.
+     NYX_BENCH_FLEET       instances for parallel_smoke fleets (default 4)
+     NYX_BENCH_SMOKE_BUDGET_S  virtual budget for parallel_smoke (default 5) *)
 
 open Nyx_core
 
@@ -82,27 +89,79 @@ let run_one ?(asan = false) ?(stop_on_solve = false) ?budget fuzzer entry seed =
 let matrix : (string * string, Report.campaign_result list option) Hashtbl.t =
   Hashtbl.create 128
 
+(* The matrix cache is the only mutable state shared across bench tasks;
+   guard it so prewarm workers and table code can never race on it. *)
+let matrix_mutex = Mutex.create ()
+
+let matrix_find key =
+  Mutex.lock matrix_mutex;
+  let r = Hashtbl.find_opt matrix key in
+  Mutex.unlock matrix_mutex;
+  r
+
+let matrix_store key results =
+  Mutex.lock matrix_mutex;
+  Hashtbl.replace matrix key results;
+  Mutex.unlock matrix_mutex
+
+(* Fold per-rep results exactly the way the original sequential cell did
+   (any failing rep poisons the cell; list ends up in reverse rep order),
+   so parallel and sequential runs agree byte-for-byte downstream. *)
+let fold_reps rep_results =
+  List.fold_left
+    (fun acc r -> match (acc, r) with Some l, Some r -> Some (r :: l) | _ -> None)
+    (Some []) rep_results
+
 let cell fuzzer entry =
   let tname = entry.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name in
   let key = (fuzzer_name fuzzer, tname) in
-  match Hashtbl.find_opt matrix key with
+  match matrix_find key with
   | Some r -> r
   | None ->
     Printf.eprintf "  running %-18s on %-14s (%d rep%s)...\n%!" (fst key) tname reps
       (if reps = 1 then "" else "s");
-    let results =
-      List.init reps (fun i -> run_one fuzzer entry (1 + i))
-      |> List.fold_left
-           (fun acc r -> match (acc, r) with Some l, Some r -> Some (r :: l) | _ -> None)
-           (Some [])
-    in
-    Hashtbl.replace matrix key results;
+    let results = fold_reps (List.init reps (fun i -> run_one fuzzer entry (1 + i))) in
+    matrix_store key results;
     results
 
 let targets = Nyx_targets.Registry.profuzzbench ()
 
 let target_name e =
   e.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name
+
+(* Compute every (fuzzer, target, rep) campaign of the matrix concurrently,
+   then assemble cells in submission order. Each campaign is a pure
+   function of (fuzzer, target, seed), so the populated cache — and every
+   table/CSV derived from it — is byte-identical to the lazy sequential
+   path; only wall-clock changes. *)
+let prewarm_matrix () =
+  let domains = Nyx_parallel.Pool.default_domains () in
+  if domains > 1 then begin
+    let cells =
+      List.concat_map (fun f -> List.map (fun e -> (f, e)) targets) all_fuzzers
+      |> List.filter (fun (f, e) -> matrix_find (fuzzer_name f, target_name e) = None)
+    in
+    let tasks =
+      List.concat_map (fun (f, e) -> List.init reps (fun i -> (f, e, 1 + i))) cells
+    in
+    Printf.eprintf "  [pool] prewarming %d matrix cells (%d campaigns) on %d domains\n%!"
+      (List.length cells) (List.length tasks) domains;
+    let results =
+      Nyx_parallel.Pool.map_list ~domains (fun (f, e, seed) -> run_one f e seed) tasks
+    in
+    (* Regroup the flat rep stream cell by cell, in submission order. *)
+    let rest = ref results in
+    List.iter
+      (fun (f, e) ->
+        let rec take n acc l =
+          if n = 0 then (List.rev acc, l)
+          else match l with [] -> assert false | x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let rep_results, tl = take reps [] !rest in
+        rest := tl;
+        matrix_store (fuzzer_name f, target_name e) (fold_reps rep_results))
+      cells
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: crashes found by each fuzzer.                              *)
@@ -320,11 +379,12 @@ let mario_cell level_name config_name runner =
       seeds = Nyx_mario.Mario_target.seeds level;
     }
   in
+  (* Repetitions fan out across domains; Pool.map_list keeps them in rep
+     order, so the median and solve counts match the sequential run. *)
   let times =
-    List.init mario_reps (fun i ->
-        match runner entry (1 + i) with
-        | Some r -> r.Report.solved_ns
-        | None -> None)
+    Nyx_parallel.Pool.map_list
+      (fun i -> match runner entry (1 + i) with Some r -> r.Report.solved_ns | None -> None)
+      (List.init mario_reps Fun.id)
   in
   let solved = List.filter_map Fun.id times in
   ignore config_name;
@@ -769,6 +829,84 @@ let faster_than_light () =
   | None -> Printf.printf "  fleet did not solve within the budget\n")
 
 (* ------------------------------------------------------------------ *)
+(* Parallel smoke: domain-pool speedup measurement + determinism check. *)
+
+let parallel_smoke () =
+  Printf.printf "\n== Parallel smoke: fleet wall-clock, sequential vs domain pool ==\n\n";
+  let domains = Nyx_parallel.Pool.default_domains () in
+  let instances = env_int "NYX_BENCH_FLEET" 4 in
+  let budget_ns = env_int "NYX_BENCH_SMOKE_BUDGET_S" 5 * 1_000_000_000 in
+  let config =
+    {
+      Campaign.default_config with
+      Campaign.budget_ns;
+      max_execs = 5_000;
+      policy = Policy.Balanced;
+      seed = 1;
+    }
+  in
+  Printf.printf "  domains=%d (recommended=%d), %d instances, %ds virtual budget\n\n"
+    domains
+    (Domain.recommended_domain_count ())
+    instances (budget_ns / 1_000_000_000);
+  Printf.printf "%-12s %12s %12s %9s %10s\n" "target" "seq wall (s)" "par wall (s)"
+    "speedup" "identical";
+  let rows =
+    List.map
+      (fun name ->
+        let entry = Option.get (Nyx_targets.Registry.find name) in
+        let seq = Fleet.run ~instances ~domains:1 ~config entry in
+        let par = Fleet.run ~instances ~domains ~config entry in
+        let identical =
+          seq.Fleet.first_solve_ns = par.Fleet.first_solve_ns
+          && seq.Fleet.solves = par.Fleet.solves
+          && seq.Fleet.total_execs = par.Fleet.total_execs
+        in
+        let speedup = seq.Fleet.wall_s /. Float.max 1e-9 par.Fleet.wall_s in
+        Printf.printf "%-12s %12.3f %12.3f %8.2fx %10b\n%!" name seq.Fleet.wall_s
+          par.Fleet.wall_s speedup identical;
+        (name, seq.Fleet.wall_s, par.Fleet.wall_s, speedup, identical))
+      [ "echo"; "lightftp" ]
+  in
+  let mean_speedup =
+    List.fold_left (fun acc (_, _, _, s, _) -> acc +. s) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
+  Printf.printf "\n  mean speedup %.2fx on %d domains; parallel==sequential: %b\n"
+    mean_speedup domains all_identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"domains\": %d,\n\
+      \  \"recommended_domains\": %d,\n\
+      \  \"instances\": %d,\n\
+      \  \"virtual_budget_s\": %d,\n\
+      \  \"targets\": [\n%s\n\
+      \  ],\n\
+      \  \"mean_speedup\": %.3f,\n\
+      \  \"parallel_identical_to_sequential\": %b\n\
+       }"
+      domains
+      (Domain.recommended_domain_count ())
+      instances (budget_ns / 1_000_000_000)
+      (String.concat ",\n"
+         (List.map
+            (fun (name, seq_s, par_s, speedup, identical) ->
+              Printf.sprintf
+                "    {\"target\": %S, \"seq_wall_s\": %.4f, \"par_wall_s\": %.4f, \
+                 \"speedup\": %.3f, \"identical\": %b}"
+                name seq_s par_s speedup identical)
+            rows))
+      mean_speedup all_identical
+  in
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: real wall-clock per table's core loop.   *)
 
 let bechamel_suite () =
@@ -863,7 +1001,11 @@ let experiments =
     ("ablation_typed", ablation_typed_spec);
     ("case_studies", case_studies);
     ("bechamel", bechamel_suite);
+    ("parallel_smoke", parallel_smoke);
   ]
+
+(* Experiments whose cells come from the shared fuzzer x target matrix. *)
+let matrix_experiments = [ "table1"; "table2"; "table3"; "table5"; "fig5" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -871,6 +1013,11 @@ let () =
   Printf.printf
     "Nyx-Net benchmark harness: budget=%ds (virtual), reps=%d, max_execs=%d\n%!"
     (budget_ns / 1_000_000_000) reps max_execs;
+  (* Domain count goes to stderr only: stdout must stay byte-identical
+     whatever NYX_DOMAINS says. *)
+  Printf.eprintf "  [pool] NYX_DOMAINS resolves to %d\n%!"
+    (Nyx_parallel.Pool.default_domains ());
+  if List.exists (fun a -> List.mem a matrix_experiments) args then prewarm_matrix ();
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

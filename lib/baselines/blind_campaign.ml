@@ -31,6 +31,7 @@ let blob_of_program net_spec p =
 let batch_size = 20
 
 let run ?seeds cfg entry =
+  let wall0 = Nyx_parallel.Wall.now_s () in
   let target = entry.Nyx_targets.Registry.target in
   match
     Bexec.create ~asan:cfg.asan
@@ -157,4 +158,5 @@ let run ?seeds cfg entry =
         corpus_size = Corpus.size corpus;
         solved_ns = !solved_ns;
         snapshot_stats = None;
+        wall_s = Nyx_parallel.Wall.now_s () -. wall0;
       }

@@ -123,6 +123,7 @@ let triage st (result : Report.exec_result) stored =
   novel
 
 let run ?seeds ?custom cfg entry =
+  let wall0 = Nyx_parallel.Wall.now_s () in
   let spec = net_spec () in
   let rng = Nyx_sim.Rng.create cfg.seed in
   let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
@@ -237,6 +238,7 @@ let run ?seeds ?custom cfg entry =
     corpus_size = Corpus.size st.corpus;
     solved_ns = st.solved_ns;
     snapshot_stats = Some (Executor.snapshot_stats exec);
+    wall_s = Nyx_parallel.Wall.now_s () -. wall0;
   }
 
 let median_result results =

@@ -1,14 +1,25 @@
+(* §5.3 parallel fleets: N instances share an immutable root snapshot and
+   differ only in their RNG seed. Each instance owns its virtual clock,
+   VM and corpus, so instances fan out across domains (Nyx_parallel.Pool);
+   results are merged in submission order, making the outcome identical
+   whatever NYX_DOMAINS says. *)
+
 type outcome = {
   instances : int;
   first_solve_ns : int option;
   solves : int;
   total_execs : int;
+  wall_s : float; (* real wall-clock for the whole fleet *)
 }
 
-let run ?(instances = 52) ~config entry =
-  let results =
+let run ?(instances = 52) ?domains ~config entry =
+  let t0 = Nyx_parallel.Wall.now_s () in
+  let configs =
     List.init instances (fun i ->
-        Campaign.run { config with Campaign.seed = config.Campaign.seed + (1000 * i) } entry)
+        { config with Campaign.seed = config.Campaign.seed + (1000 * i) })
+  in
+  let results =
+    Nyx_parallel.Pool.map_list ?domains (fun cfg -> Campaign.run cfg entry) configs
   in
   let solve_times = List.filter_map (fun r -> r.Report.solved_ns) results in
   {
@@ -19,4 +30,5 @@ let run ?(instances = 52) ~config entry =
       | ts -> Some (List.fold_left min max_int ts));
     solves = List.length solve_times;
     total_execs = List.fold_left (fun acc r -> acc + r.Report.execs) 0 results;
+    wall_s = Nyx_parallel.Wall.now_s () -. t0;
   }

@@ -9,7 +9,12 @@
     This is what makes some Mario levels solvable "faster than light":
     with enough instances, the earliest solve arrives in less wall-clock
     time than a flawless speedrun of the level takes to play once at 60
-    FPS. *)
+    FPS.
+
+    Instances fan out across OCaml 5 domains via {!Nyx_parallel.Pool}
+    (NYX_DOMAINS, or [?domains]). Each instance owns its clock, VM and
+    RNG and results merge in submission order, so the outcome is
+    identical whatever the domain count. *)
 
 type outcome = {
   instances : int;
@@ -17,12 +22,18 @@ type outcome = {
       (** earliest virtual solve time across the fleet *)
   solves : int;  (** how many instances solved within their budget *)
   total_execs : int;
+  wall_s : float;
+      (** real wall-clock for the whole fleet — the field the domain pool
+          shrinks; everything above is deterministic *)
 }
 
 val run :
   ?instances:int ->
+  ?domains:int ->
   config:Campaign.config ->
   Nyx_targets.Registry.entry ->
   outcome
 (** [instances] defaults to 52, the paper's core count. Each instance
-    runs [config] with a distinct seed derived from [config.seed]. *)
+    runs [config] with a distinct seed derived from [config.seed].
+    [domains] overrides NYX_DOMAINS; [1] runs sequentially on the calling
+    domain. *)

@@ -23,6 +23,9 @@ type campaign_result = {
   corpus_size : int;
   solved_ns : int option;
   snapshot_stats : Nyx_snapshot.Engine.stats option;
+  wall_s : float;
+      (* real wall-clock the campaign took; informational only — every
+         other field is a deterministic function of the config. *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes

@@ -33,6 +33,10 @@ type campaign_result = {
   solved_ns : int option;  (** Mario: virtual time of the first solve *)
   snapshot_stats : Nyx_snapshot.Engine.stats option;
       (** snapshot engine counters (Nyx-Net campaigns only) *)
+  wall_s : float;
+      (** real wall-clock the campaign took. Informational only: every
+          other field is a deterministic function of the config, so two
+          same-seed campaigns agree on everything but this. *)
 }
 
 val crashed : campaign_result -> bool

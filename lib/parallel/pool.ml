@@ -1,0 +1,159 @@
+(* A bounded domain pool (OCaml 5 Domains + Mutex/Condition, no deps).
+
+   The campaign layers above (Fleet, bench matrix) are embarrassingly
+   parallel: every instance owns its virtual clock, VM, RNG and corpus,
+   so tasks never share mutable state. The pool therefore only has to
+   provide scheduling, ordered result collection and exception capture.
+
+   Determinism contract: [map] and [map_list] return results in
+   submission order and every task is a pure function of its input, so
+   the output is byte-identical whatever the domain count. [domains = 1]
+   (or NYX_DOMAINS=1) bypasses the pool entirely and runs on the calling
+   domain — exactly the pre-parallel sequential path. *)
+
+exception Task_error of { index : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_error { index; exn } ->
+      Some (Printf.sprintf "Pool.Task_error(task %d: %s)" index (Printexc.to_string exn))
+    | _ -> None)
+
+(* OCaml's runtime supports ~128 domains; stay well under it so nested
+   users (a fleet inside a bench) cannot exhaust the budget. *)
+let max_domains = 48
+
+let recommended () = min max_domains (Domain.recommended_domain_count ())
+
+(* NYX_DOMAINS: worker-domain count for every Pool consumer.
+   unset / invalid -> Domain.recommended_domain_count; 1 -> sequential. *)
+let env_domains () =
+  match Sys.getenv_opt "NYX_DOMAINS" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n max_domains)
+    | _ -> None)
+
+let default_domains () =
+  match env_domains () with Some n -> n | None -> recommended ()
+
+let resolve = function
+  | Some n when n >= 1 -> min n max_domains
+  | Some _ -> 1
+  | None -> default_domains ()
+
+(* ------------------------------------------------------------------ *)
+(* The pool proper: a task queue drained by [size] worker domains.     *)
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t; (* queue gained work, or shutdown started *)
+  idle : Condition.t; (* live count fell to zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable live : int; (* tasks queued or running *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let size t = t.size
+
+let rec worker t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* shutdown, queue drained *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    (try job () with _ -> () (* jobs capture their own exceptions *));
+    Mutex.lock t.m;
+    t.live <- t.live - 1;
+    if t.live = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.m;
+    worker t
+  end
+
+let create ?domains () =
+  let size = resolve domains in
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      live = 0;
+      stop = false;
+      workers = [||];
+      size;
+    }
+  in
+  t.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  t.live <- t.live + 1;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m
+
+(* Block until every submitted task has finished. *)
+let wait t =
+  Mutex.lock t.m;
+  while t.live > 0 do
+    Condition.wait t.idle t.m
+  done;
+  Mutex.unlock t.m
+
+(* Drain the queue, then join every worker. Idempotent. *)
+let shutdown t =
+  Mutex.lock t.m;
+  let was_stopped = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  if not was_stopped then Array.iter Domain.join t.workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Ordered maps.                                                       *)
+
+let run_tasks ~domains (tasks : (unit -> 'a) array) : ('a, exn) result array =
+  let n = Array.length tasks in
+  let wrap task () = try Ok (task ()) with e -> Error e in
+  if domains <= 1 || n <= 1 then Array.map (fun task -> wrap task ()) tasks
+  else begin
+    (* Each slot is written by exactly one task, so plain stores suffice
+       under the OCaml memory model; [wait]'s mutex publishes them. *)
+    let results = Array.make n None in
+    with_pool ~domains:(min domains n) (fun pool ->
+        Array.iteri
+          (fun i task -> submit pool (fun () -> results.(i) <- Some (wrap task ())))
+          tasks;
+        wait pool);
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let collect results =
+  (* Surface the lowest failing index, matching what the sequential run
+     would have raised first. *)
+  Array.iteri
+    (fun index -> function Error exn -> raise (Task_error { index; exn }) | Ok _ -> ())
+    results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let map ?domains f arr =
+  let domains = resolve domains in
+  collect (run_tasks ~domains (Array.map (fun x () -> f x) arr))
+
+let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))

@@ -1,0 +1,10 @@
+(* Real wall-clock time. Everything else in the reproduction runs on the
+   virtual clock; wall time exists only to measure the speedup the domain
+   pool buys, never to drive fuzzing decisions. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)

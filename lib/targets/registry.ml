@@ -1,3 +1,12 @@
+(* Domain-safety invariant (audited for nyx_parallel): this module and
+   every target it lists hold no toplevel mutable state. [Target.t] is a
+   record of immutable info plus hook closures whose state lives in the
+   per-campaign [Ctx.t]/guest heap, and the toplevel seed [bytes] are
+   only ever read (mutators copy before editing, the net layer copies on
+   send), so entries may be shared freely across domains. Keep it that
+   way: new targets must allocate their state through the hooks' [Ctx.t],
+   never in module-level refs/tables. *)
+
 type entry = { target : Target.t; seeds : bytes list list }
 
 let profuzzbench () =

@@ -54,55 +54,122 @@ let write t addr data =
     pos := !pos + chunk
   done
 
-let read_u8 t addr = Char.code (Bytes.get (read t addr 1) 0)
+(* Scalar accessors: the interpreter, guest heap and targets hammer these
+   on every emulated instruction, so accesses that stay inside one page
+   take a non-allocating fast path (direct page lookup, little-endian
+   Bytes accessors, one dirty mark). Only page-straddling accesses fall
+   back to the generic multi-page read/write loop. *)
+
+let single_page addr len = Page.offset addr + len <= Page.size
+
+let read_u8 t addr =
+  check t addr 1;
+  match Hashtbl.find_opt t.pages (Page.number addr) with
+  | Some p -> Char.code (Bytes.get p (Page.offset addr))
+  | None -> 0
 
 let write_u8 t addr v =
-  let b = Bytes.create 1 in
-  Bytes.set b 0 (Char.chr (v land 0xff));
-  write t addr b
+  check t addr 1;
+  let pfn = Page.number addr in
+  let p = materialize t pfn in
+  Bytes.set p (Page.offset addr) (Char.chr (v land 0xff));
+  ignore (Dirty_log.mark t.dirty pfn)
 
 let read_u16 t addr =
-  let b = read t addr 2 in
-  Char.code (Bytes.get b 0) lor (Char.code (Bytes.get b 1) lsl 8)
+  if single_page addr 2 then begin
+    check t addr 2;
+    match Hashtbl.find_opt t.pages (Page.number addr) with
+    | Some p -> Bytes.get_uint16_le p (Page.offset addr)
+    | None -> 0
+  end
+  else begin
+    let b = read t addr 2 in
+    Char.code (Bytes.get b 0) lor (Char.code (Bytes.get b 1) lsl 8)
+  end
 
 let write_u16 t addr v =
-  let b = Bytes.create 2 in
-  Bytes.set b 0 (Char.chr (v land 0xff));
-  Bytes.set b 1 (Char.chr ((v lsr 8) land 0xff));
-  write t addr b
+  if single_page addr 2 then begin
+    check t addr 2;
+    let pfn = Page.number addr in
+    let p = materialize t pfn in
+    Bytes.set_uint16_le p (Page.offset addr) (v land 0xffff);
+    ignore (Dirty_log.mark t.dirty pfn)
+  end
+  else begin
+    let b = Bytes.create 2 in
+    Bytes.set b 0 (Char.chr (v land 0xff));
+    Bytes.set b 1 (Char.chr ((v lsr 8) land 0xff));
+    write t addr b
+  end
 
 let read_i32 t addr =
-  let b = read t addr 4 in
-  let v = ref 0 in
-  for i = 3 downto 0 do
-    v := (!v lsl 8) lor Char.code (Bytes.get b i)
-  done;
-  (* Sign-extend from 32 bits. *)
-  (!v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+  if single_page addr 4 then begin
+    check t addr 4;
+    match Hashtbl.find_opt t.pages (Page.number addr) with
+    | Some p -> Int32.to_int (Bytes.get_int32_le p (Page.offset addr))
+    | None -> 0
+  end
+  else begin
+    let b = read t addr 4 in
+    let v = ref 0 in
+    for i = 3 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b i)
+    done;
+    (* Sign-extend from 32 bits. *)
+    (!v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+  end
 
 let write_i32 t addr v =
-  let b = Bytes.create 4 in
-  for i = 0 to 3 do
-    Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
-  done;
-  write t addr b
+  if single_page addr 4 then begin
+    check t addr 4;
+    let pfn = Page.number addr in
+    let p = materialize t pfn in
+    Bytes.set_int32_le p (Page.offset addr) (Int32.of_int v);
+    ignore (Dirty_log.mark t.dirty pfn)
+  end
+  else begin
+    let b = Bytes.create 4 in
+    for i = 0 to 3 do
+      Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+    done;
+    write t addr b
+  end
 
 let read_i64 t addr =
-  let b = read t addr 8 in
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b i)))
-  done;
-  Int64.to_int !v
+  if single_page addr 8 then begin
+    check t addr 8;
+    match Hashtbl.find_opt t.pages (Page.number addr) with
+    | Some p -> Int64.to_int (Bytes.get_int64_le p (Page.offset addr))
+    | None -> 0
+  end
+  else begin
+    let b = read t addr 8 in
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b i)))
+    done;
+    Int64.to_int !v
+  end
 
 let write_i64 t addr v =
-  let b = Bytes.create 8 in
-  let v64 = Int64.of_int v in
-  for i = 0 to 7 do
-    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v64 (8 * i)) 0xFFL) in
-    Bytes.set b i (Char.chr byte)
-  done;
-  write t addr b
+  if single_page addr 8 then begin
+    check t addr 8;
+    let pfn = Page.number addr in
+    let p = materialize t pfn in
+    Bytes.set_int64_le p (Page.offset addr) (Int64.of_int v);
+    ignore (Dirty_log.mark t.dirty pfn)
+  end
+  else begin
+    let b = Bytes.create 8 in
+    let v64 = Int64.of_int v in
+    for i = 0 to 7 do
+      let byte =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical v64 (8 * i)) 0xFFL)
+      in
+      Bytes.set b i (Char.chr byte)
+    done;
+    write t addr b
+  end
 
 let clear_dirty t = Dirty_log.clear t.dirty
 

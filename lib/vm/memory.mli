@@ -31,7 +31,10 @@ val read_i32 : t -> int -> int
 val write_i32 : t -> int -> int -> unit
 val read_i64 : t -> int -> int
 val write_i64 : t -> int -> int -> unit
-(** Little-endian fixed-width accessors ([i64] uses OCaml's 63-bit int). *)
+(** Little-endian fixed-width accessors ([i64] uses OCaml's 63-bit int).
+    Accesses contained in a single page take a non-allocating fast path;
+    page-straddling accesses fall back to {!read}/{!write} with identical
+    semantics (zero-fill reads, per-page dirty marking, {!Fault}s). *)
 
 val clear_dirty : t -> unit
 

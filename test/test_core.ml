@@ -325,6 +325,7 @@ let test_median_result () =
       corpus_size = 0;
       solved_ns = None;
       snapshot_stats = None;
+      wall_s = 0.0;
     }
   in
   check_int "median of three" 20
@@ -354,6 +355,7 @@ let test_report_helpers () =
       corpus_size = 5;
       solved_ns = None;
       snapshot_stats = None;
+      wall_s = 0.0;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);

@@ -1,0 +1,172 @@
+(* nyx_parallel: pool semantics, and the determinism contract that lets
+   fleets and the bench matrix fan out across domains. *)
+
+open Nyx_core
+
+let check_int = Alcotest.(check int)
+
+(* Pool basics *)
+
+let test_map_preserves_order () =
+  let input = Array.init 100 Fun.id in
+  let expected = Array.map (fun x -> (x * x) + 1) input in
+  List.iter
+    (fun domains ->
+      let got = Nyx_parallel.Pool.map ~domains (fun x -> (x * x) + 1) input in
+      Alcotest.(check (array int)) (Printf.sprintf "domains=%d" domains) expected got)
+    [ 1; 2; 4; 8 ]
+
+let test_map_list_preserves_order () =
+  let got =
+    Nyx_parallel.Pool.map_list ~domains:4 (fun x -> 2 * x) (List.init 33 Fun.id)
+  in
+  Alcotest.(check (list int)) "ordered" (List.init 33 (fun i -> 2 * i)) got
+
+let test_map_edge_sizes () =
+  Alcotest.(check (array int)) "empty" [||] (Nyx_parallel.Pool.map ~domains:4 succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 8 |]
+    (Nyx_parallel.Pool.map ~domains:4 succ [| 7 |]);
+  (* More tasks than domains: the queue must feed every worker. *)
+  Alcotest.(check (array int)) "tasks >> domains"
+    (Array.init 200 succ)
+    (Nyx_parallel.Pool.map ~domains:2 succ (Array.init 200 Fun.id))
+
+let test_exception_carries_index () =
+  let run domains =
+    match
+      Nyx_parallel.Pool.map ~domains
+        (fun x -> if x = 7 then failwith "boom" else x)
+        (Array.init 16 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected Task_error"
+    | exception Nyx_parallel.Pool.Task_error { index; exn = Failure m } ->
+      check_int "failing task index" 7 index;
+      Alcotest.(check string) "payload" "boom" m
+    | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  in
+  (* Same surfaced failure on the sequential and the pooled path. *)
+  run 1;
+  run 4
+
+let test_exception_reports_lowest_index () =
+  match
+    Nyx_parallel.Pool.map ~domains:4
+      (fun x -> if x >= 5 then failwith "multi" else x)
+      (Array.init 32 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Task_error"
+  | exception Nyx_parallel.Pool.Task_error { index; _ } ->
+    check_int "lowest failing index wins" 5 index
+
+let test_submit_wait () =
+  let counter = Atomic.make 0 in
+  Nyx_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      check_int "pool size" 3 (Nyx_parallel.Pool.size pool);
+      for _ = 1 to 50 do
+        Nyx_parallel.Pool.submit pool (fun () -> Atomic.incr counter)
+      done;
+      Nyx_parallel.Pool.wait pool;
+      check_int "all jobs ran" 50 (Atomic.get counter));
+  (* with_pool shut the pool down; reuse must be rejected, not deadlock. *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Nyx_parallel.Pool.with_pool ~domains:2 (fun pool ->
+          Nyx_parallel.Pool.shutdown pool;
+          Nyx_parallel.Pool.submit pool (fun () -> ())))
+
+let test_env_knob () =
+  Unix.putenv "NYX_DOMAINS" "3";
+  check_int "NYX_DOMAINS honoured" 3 (Nyx_parallel.Pool.default_domains ());
+  Unix.putenv "NYX_DOMAINS" "0";
+  check_int "invalid falls back to recommended"
+    (Nyx_parallel.Pool.recommended ())
+    (Nyx_parallel.Pool.default_domains ());
+  Unix.putenv "NYX_DOMAINS" "garbage";
+  check_int "garbage falls back to recommended"
+    (Nyx_parallel.Pool.recommended ())
+    (Nyx_parallel.Pool.default_domains ());
+  Unix.putenv "NYX_DOMAINS" "4";
+  check_int "explicit argument beats the env" 2
+    (Array.length (Nyx_parallel.Pool.map ~domains:1 Fun.id [| 1; 2 |]));
+  Unix.putenv "NYX_DOMAINS" "1"
+
+(* Cross-layer determinism *)
+
+let echo_entry () = Option.get (Nyx_targets.Registry.find "echo")
+
+let small_config =
+  {
+    Campaign.default_config with
+    Campaign.budget_ns = 2_000_000_000;
+    max_execs = 600;
+    policy = Policy.Balanced;
+    seed = 5;
+  }
+
+let test_fleet_domains_deterministic () =
+  let entry = echo_entry () in
+  (* The issue's exact contract: NYX_DOMAINS=4 == NYX_DOMAINS=1. *)
+  Unix.putenv "NYX_DOMAINS" "4";
+  let par = Fleet.run ~instances:4 ~config:small_config entry in
+  Unix.putenv "NYX_DOMAINS" "1";
+  let seq = Fleet.run ~instances:4 ~config:small_config entry in
+  check_int "instances" seq.Fleet.instances par.Fleet.instances;
+  Alcotest.(check (option int)) "first solve" seq.Fleet.first_solve_ns
+    par.Fleet.first_solve_ns;
+  check_int "solves" seq.Fleet.solves par.Fleet.solves;
+  check_int "total execs" seq.Fleet.total_execs par.Fleet.total_execs;
+  Alcotest.(check bool) "wall clock measured" true
+    (seq.Fleet.wall_s >= 0.0 && par.Fleet.wall_s >= 0.0)
+
+let test_parallel_campaigns_match_sequential () =
+  let entry = echo_entry () in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let run seed = Campaign.run { small_config with Campaign.seed } entry in
+  let seq = List.map run seeds in
+  let par = Nyx_parallel.Pool.map_list ~domains:4 run seeds in
+  List.iter2
+    (fun a b ->
+      check_int "edges" a.Report.final_edges b.Report.final_edges;
+      check_int "execs" a.Report.execs b.Report.execs;
+      check_int "virtual time" a.Report.virtual_ns b.Report.virtual_ns;
+      check_int "corpus" a.Report.corpus_size b.Report.corpus_size)
+    seq par
+
+let test_same_seed_campaigns_identical () =
+  let entry = echo_entry () in
+  let a = Campaign.run small_config entry in
+  let b = Campaign.run small_config entry in
+  check_int "edges" a.Report.final_edges b.Report.final_edges;
+  check_int "execs" a.Report.execs b.Report.execs;
+  check_int "virtual time" a.Report.virtual_ns b.Report.virtual_ns;
+  check_int "corpus" a.Report.corpus_size b.Report.corpus_size;
+  Alcotest.(check (list string)) "crash kinds"
+    (List.map (fun c -> c.Report.kind) a.Report.crashes)
+    (List.map (fun c -> c.Report.kind) b.Report.crashes)
+
+let () =
+  Alcotest.run "nyx_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+          Alcotest.test_case "map_list preserves order" `Quick
+            test_map_list_preserves_order;
+          Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+          Alcotest.test_case "exception carries index" `Quick
+            test_exception_carries_index;
+          Alcotest.test_case "lowest failing index" `Quick
+            test_exception_reports_lowest_index;
+          Alcotest.test_case "submit/wait/shutdown" `Quick test_submit_wait;
+          Alcotest.test_case "NYX_DOMAINS knob" `Quick test_env_knob;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fleet: 4 domains == 1 domain" `Quick
+            test_fleet_domains_deterministic;
+          Alcotest.test_case "parallel campaigns == sequential" `Quick
+            test_parallel_campaigns_match_sequential;
+          Alcotest.test_case "same-seed campaigns identical" `Quick
+            test_same_seed_campaigns_identical;
+        ] );
+    ]

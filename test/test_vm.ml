@@ -103,6 +103,45 @@ let test_memory_ints () =
   Memory.write_i64 m 16 (-987654321012345);
   check_int "i64" (-987654321012345) (Memory.read_i64 m 16)
 
+let test_memory_ints_cross_page () =
+  let m = mk_mem () in
+  (* Every scalar access straddles a page boundary: the generic fallback
+     path, which must agree with the single-page fast path. *)
+  Memory.write_u16 m (Page.size - 1) 0xABCD;
+  check_int "u16 straddle" 0xABCD (Memory.read_u16 m (Page.size - 1));
+  Memory.write_i32 m ((2 * Page.size) - 2) (-77777);
+  check_int "i32 straddle" (-77777) (Memory.read_i32 m ((2 * Page.size) - 2));
+  Memory.write_i64 m ((3 * Page.size) - 5) 0x1122334455667788;
+  check_int "i64 straddle" 0x1122334455667788 (Memory.read_i64 m ((3 * Page.size) - 5));
+  check_int "straddling writes dirty both sides" 4 (Dirty_log.count (Memory.dirty m))
+
+let test_memory_scalar_fast_path () =
+  let m = mk_mem () in
+  Memory.write_i32 m 100 42;
+  check_int "fast write dirties one page" 1 (Dirty_log.count (Memory.dirty m));
+  check_int "fast read" 42 (Memory.read_i32 m 100);
+  check_int "unmaterialized reads as zero" 0 (Memory.read_i64 m (10 * Page.size));
+  check_int "scalar reads materialize nothing" 1 (Memory.materialized_count m);
+  Alcotest.check_raises "fast path still faults"
+    (Memory.Fault { addr = (64 * Page.size) - 2; size = 4 }) (fun () ->
+      ignore (Memory.read_i32 m ((64 * Page.size) - 2)))
+
+let prop_i32_fast_slow_agree =
+  QCheck.Test.make ~name:"i32 scalar path = generic byte path" ~count:500
+    QCheck.(pair (int_bound ((64 * 512) - 4)) int)
+    (fun (addr, v) ->
+      let m1 = Memory.create ~num_pages:64 in
+      let m2 = Memory.create ~num_pages:64 in
+      Memory.write_i32 m1 addr v;
+      let bs = Bytes.create 4 in
+      for i = 0 to 3 do
+        Bytes.set bs i (Char.chr ((v lsr (8 * i)) land 0xff))
+      done;
+      Memory.write m2 addr bs;
+      Memory.read_i32 m1 addr = Memory.read_i32 m2 addr
+      && Bytes.equal (Memory.read m1 addr 4) (Memory.read m2 addr 4)
+      && Dirty_log.to_list (Memory.dirty m1) = Dirty_log.to_list (Memory.dirty m2))
+
 let test_memory_snapshot_interface () =
   let m = mk_mem () in
   Memory.write m 0 (b "xyz");
@@ -324,8 +363,11 @@ let () =
           Alcotest.test_case "cross page" `Quick test_memory_cross_page;
           Alcotest.test_case "fault" `Quick test_memory_fault;
           Alcotest.test_case "fixed-width ints" `Quick test_memory_ints;
+          Alcotest.test_case "ints across pages" `Quick test_memory_ints_cross_page;
+          Alcotest.test_case "scalar fast path" `Quick test_memory_scalar_fast_path;
           Alcotest.test_case "snapshot interface" `Quick test_memory_snapshot_interface;
           QCheck_alcotest.to_alcotest prop_memory_write_read;
+          QCheck_alcotest.to_alcotest prop_i32_fast_slow_agree;
           QCheck_alcotest.to_alcotest prop_dirty_tracks_written_pages;
         ] );
       ( "guest_heap",
