@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test bench-smoke bench clean
+.PHONY: all check build test bench-smoke bench-hotpath bench clean
 
 all: check
 
@@ -10,14 +10,23 @@ build:
 test:
 	dune runtest
 
-# Tier-1 verify: what CI runs.
+# Tier-1 verify: what CI runs. Both smoke benches are asserted
+# crash-free under NYX_DOMAINS=4 (hotpath additionally fails if the
+# before/after gears diverge or the speedup drops below 2x).
 check:
 	dune build @all && dune runtest
+	NYX_DOMAINS=4 NYX_BENCH_SMOKE_BUDGET_S=1 NYX_BENCH_FLEET=2 dune exec bench/main.exe -- parallel_smoke
+	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 
 # Tiny-budget parallel smoke bench: measures the NYX_DOMAINS speedup on
 # small fleets, checks parallel==sequential, writes BENCH_parallel.json.
 bench-smoke:
 	NYX_BENCH_SMOKE_BUDGET_S=2 NYX_BENCH_FLEET=4 dune exec bench/main.exe -- parallel_smoke
+
+# Coverage-bound hot-loop bench: journaled coverage + O(1) scheduling vs
+# the before-style full-scan paths; writes BENCH_hotpath.json.
+bench-hotpath:
+	dune exec bench/main.exe -- hotpath
 
 # The full paper evaluation (slow).
 bench:

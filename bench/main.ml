@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- EXPERIMENT...]
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
-                ablation_remirror bechamel parallel_smoke all
+                ablation_remirror bechamel parallel_smoke hotpath all
    Environment:
      NYX_BENCH_BUDGET_S    virtual seconds per campaign (default 20)
      NYX_BENCH_REPS        repetitions per cell (default 1; paper used 10)
@@ -19,7 +19,9 @@
                            cells are deterministic functions of the seed
                            and results merge in submission order.
      NYX_BENCH_FLEET       instances for parallel_smoke fleets (default 4)
-     NYX_BENCH_SMOKE_BUDGET_S  virtual budget for parallel_smoke (default 5) *)
+     NYX_BENCH_SMOKE_BUDGET_S  virtual budget for parallel_smoke (default 5)
+     NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
+     NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000) *)
 
 open Nyx_core
 
@@ -907,6 +909,207 @@ let parallel_smoke () =
   Printf.printf "  [json] %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Hotpath: O(touched) journaled coverage + O(1) corpus scheduling vs
+   the before-style O(map)/O(corpus) paths, on a coverage-bound
+   fixed-seed smoke campaign. Emits BENCH_hotpath.json.                *)
+
+(* The pre-change corpus, reproduced for the before gear: reversed list,
+   List.nth indexing, per-call frequency-table rebuild, per-round
+   programs-array reallocation. *)
+module Before_corpus = struct
+  type entry = { id : int; program : Nyx_spec.Program.t; state_code : int }
+  type t = { mutable rev_entries : entry list; mutable count : int }
+
+  let create () = { rev_entries = []; count = 0 }
+
+  let add t ~program ~state_code =
+    let entry = { id = t.count; program; state_code } in
+    t.rev_entries <- entry :: t.rev_entries;
+    t.count <- t.count + 1;
+    entry
+
+  let nth_newest t i = List.nth t.rev_entries i
+
+  let schedule t rng =
+    if Nyx_sim.Rng.bool rng then nth_newest t (Nyx_sim.Rng.int rng t.count)
+    else nth_newest t (Nyx_sim.Rng.int rng (max 1 (t.count / 4)))
+
+  let programs t =
+    Array.of_list (List.map (fun e -> e.program) t.rev_entries)
+end
+
+let hotpath () =
+  Printf.printf
+    "\n== Hotpath: journaled coverage + O(1) scheduling vs full-scan paths ==\n\n";
+  let execs = env_int "NYX_BENCH_HOTPATH_EXECS" 3_000 in
+  let module Cov = Nyx_targets.Coverage in
+  let spec = Campaign.net_spec () in
+  let program = Nyx_spec.Net_spec.seed_of_packets spec [ Bytes.of_string "x" ] in
+  (* One coverage-bound exec: the coverage/corpus bookkeeping of the
+     fuzzing hot loop with the target execution itself stripped out, so
+     wall-clock measures exactly the mechanical cost this PR attacks.
+     Both gears replay identical RNG-driven hit sequences. *)
+  let run_campaign ~slow =
+    let rng = Nyx_sim.Rng.create 42 in
+    let sched_rng = Nyx_sim.Rng.create 43 in
+    let cov = Cov.create () in
+    let cumulative = Cov.Cumulative.create () in
+    let corpus = Corpus.create () in
+    let before_corpus = Before_corpus.create () in
+    let add prog state_code =
+      if slow then ignore (Before_corpus.add before_corpus ~program:prog ~state_code)
+      else ignore (Corpus.add corpus ~program:prog ~exec_ns:0 ~discovered_ns:0 ~state_code)
+    in
+    add program 0;
+    let edges = ref 0 and corpus_size = ref 1 and splice_picks = ref 0 in
+    let t0 = Nyx_parallel.Wall.now_s () in
+    for _ = 1 to execs do
+      (* Scheduling round: pick an entry, snapshot the splice pool. *)
+      let progs =
+        if slow then begin
+          ignore (Before_corpus.schedule before_corpus sched_rng);
+          Before_corpus.programs before_corpus
+        end
+        else begin
+          ignore (Corpus.schedule corpus sched_rng);
+          Corpus.programs corpus
+        end
+      in
+      splice_picks := !splice_picks + Array.length progs;
+      (* Execution: reset, replay a touched-set of edges. *)
+      if slow then Cov.reset_slow cov else Cov.reset cov;
+      let touched = 32 + Nyx_sim.Rng.int rng 96 in
+      for _ = 1 to touched do
+        Cov.hit cov (Nyx_sim.Rng.int rng 4096)
+      done;
+      (* Triage: merge, count, grow the corpus on novelty. *)
+      let novel =
+        if slow then Cov.Cumulative.merge_slow cumulative cov
+        else Cov.Cumulative.merge cumulative cov
+      in
+      edges :=
+        (if slow then Cov.Cumulative.edge_count_slow cumulative
+         else Cov.Cumulative.edge_count cumulative);
+      if novel then begin
+        add program (Nyx_sim.Rng.int rng 8);
+        incr corpus_size
+      end
+    done;
+    let wall = Nyx_parallel.Wall.now_s () -. t0 in
+    (wall, !edges, !corpus_size, !splice_picks)
+  in
+  let before_wall, before_edges, before_corpus_n, before_picks =
+    run_campaign ~slow:true
+  in
+  let after_wall, after_edges, after_corpus_n, after_picks =
+    run_campaign ~slow:false
+  in
+  if
+    before_edges <> after_edges
+    || before_corpus_n <> after_corpus_n
+    || before_picks <> after_picks
+  then failwith "hotpath: before/after gears diverged — semantics changed";
+  let eps w = float_of_int execs /. Float.max 1e-9 w in
+  let npe w = w *. 1e9 /. float_of_int execs in
+  let speedup = eps after_wall /. eps before_wall in
+  Printf.printf "  %d coverage-bound execs, identical results both gears\n" execs;
+  Printf.printf "  (final edges %d, corpus %d)\n\n" after_edges after_corpus_n;
+  Printf.printf "%-10s %14s %14s\n" "gear" "execs/sec" "ns/exec";
+  Printf.printf "%-10s %14.0f %14.0f\n" "before" (eps before_wall) (npe before_wall);
+  Printf.printf "%-10s %14.0f %14.0f\n" "after" (eps after_wall) (npe after_wall);
+  Printf.printf "  speedup: %.1fx\n\n" speedup;
+  (* Per-phase split: time each hot-loop primitive in isolation. *)
+  let phase_iters = env_int "NYX_BENCH_HOTPATH_PHASE_ITERS" 2_000 in
+  let time f =
+    let t0 = Nyx_parallel.Wall.now_s () in
+    for _ = 1 to phase_iters do
+      f ()
+    done;
+    (Nyx_parallel.Wall.now_s () -. t0) *. 1e9 /. float_of_int phase_iters
+  in
+  let touch cov rng =
+    for _ = 1 to 80 do
+      Cov.hit cov (Nyx_sim.Rng.int rng 4096)
+    done
+  in
+  let reset_phase slow =
+    let cov = Cov.create () in
+    let rng = Nyx_sim.Rng.create 5 in
+    time (fun () ->
+        touch cov rng;
+        if slow then Cov.reset_slow cov else Cov.reset cov)
+  in
+  let merge_phase slow =
+    let cov = Cov.create () in
+    let rng = Nyx_sim.Rng.create 5 in
+    touch cov rng;
+    let cumulative = Cov.Cumulative.create () in
+    time (fun () ->
+        ignore
+          (if slow then Cov.Cumulative.merge_slow cumulative cov
+           else Cov.Cumulative.merge cumulative cov);
+        ignore
+          (if slow then Cov.Cumulative.edge_count_slow cumulative
+           else Cov.Cumulative.edge_count cumulative))
+  in
+  let schedule_phase slow =
+    let rng = Nyx_sim.Rng.create 5 in
+    let corpus = Corpus.create () in
+    let before_corpus = Before_corpus.create () in
+    for i = 0 to 511 do
+      ignore (Corpus.add corpus ~program ~exec_ns:0 ~discovered_ns:0 ~state_code:(i mod 8));
+      ignore (Before_corpus.add before_corpus ~program ~state_code:(i mod 8))
+    done;
+    time (fun () ->
+        if slow then begin
+          ignore (Before_corpus.schedule before_corpus rng);
+          ignore (Before_corpus.programs before_corpus)
+        end
+        else begin
+          ignore (Corpus.schedule corpus rng);
+          ignore (Corpus.programs corpus)
+        end)
+  in
+  let phases =
+    [
+      ("reset", reset_phase true, reset_phase false);
+      ("merge", merge_phase true, merge_phase false);
+      ("schedule", schedule_phase true, schedule_phase false);
+    ]
+  in
+  Printf.printf "%-10s %14s %14s %9s\n" "phase" "before ns" "after ns" "ratio";
+  List.iter
+    (fun (name, b, a) ->
+      Printf.printf "%-10s %14.0f %14.0f %8.1fx\n" name b a (b /. Float.max 1e-9 a))
+    phases;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"execs\": %d,\n\
+      \  \"identical_results\": true,\n\
+      \  \"final_edges\": %d,\n\
+      \  \"corpus_size\": %d,\n\
+      \  \"before\": {\"execs_per_sec\": %.1f, \"ns_per_exec\": %.1f},\n\
+      \  \"after\": {\"execs_per_sec\": %.1f, \"ns_per_exec\": %.1f},\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"phases_ns_per_iter\": {\n%s\n  }\n\
+       }"
+      execs after_edges after_corpus_n (eps before_wall) (npe before_wall)
+      (eps after_wall) (npe after_wall) speedup
+      (String.concat ",\n"
+         (List.map
+            (fun (name, b, a) ->
+              Printf.sprintf "    \"%s\": {\"before\": %.1f, \"after\": %.1f}" name b a)
+            phases))
+  in
+  let path = "BENCH_hotpath.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n" path;
+  if speedup < 2.0 then failwith "hotpath: expected >= 2x execs/sec on the smoke campaign"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: real wall-clock per table's core loop.   *)
 
 let bechamel_suite () =
@@ -1002,6 +1205,7 @@ let experiments =
     ("case_studies", case_studies);
     ("bechamel", bechamel_suite);
     ("parallel_smoke", parallel_smoke);
+    ("hotpath", hotpath);
   ]
 
 (* Experiments whose cells come from the shared fuzzer x target matrix. *)

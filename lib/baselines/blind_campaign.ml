@@ -126,13 +126,16 @@ let run ?seeds cfg entry =
         Nyx_spec.Net_spec.seed_of_packets net_spec [ mutated ]
     in
     while not (over ()) do
+      (* Both paths are now O(touched) per round: [schedule] indexes the
+         corpus array directly, [schedule_state_aware] reuses the
+         frequency table maintained on add, and [programs] is a cached
+         snapshot — the baselines stay cost-comparable with the Nyx
+         campaign's scheduling. *)
       let entry_sched =
         if cfg.state_aware then Corpus.schedule_state_aware corpus rng
         else Corpus.schedule corpus rng
       in
-      let corpus_progs =
-        Array.of_list (List.map (fun e -> e.Corpus.program) (Corpus.entries corpus))
-      in
+      let corpus_progs = Corpus.programs corpus in
       let i = ref 0 in
       while !i < batch_size && not (over ()) do
         incr i;

@@ -61,6 +61,9 @@ let sample ?(force = false) st =
    produces the identical coverage map, so stored entries carry no dead
    tail (trailing packets the target never consumed). *)
 let trim_program st program =
+  (* One O(touched) checkpoint of the full run's map; each probe compares
+     the fresh map against it via the journal view ([Coverage.matches]) —
+     no 64 KiB copies and no structural map comparison per probe. *)
   let full_map = Coverage.save (Executor.coverage st.exec) in
   let same_cov_at len =
     let candidate =
@@ -72,7 +75,7 @@ let trim_program st program =
     | Ok () ->
       st.execs <- st.execs + 1;
       ignore (Executor.run_full st.exec candidate);
-      if Coverage.save (Executor.coverage st.exec) = full_map then Some candidate
+      if Coverage.matches (Executor.coverage st.exec) full_map then Some candidate
       else None
   in
   let n = Array.length program.Nyx_spec.Program.ops in
@@ -180,13 +183,12 @@ let run ?seeds ?custom cfg entry =
       (Corpus.add st.corpus
          ~program:(Nyx_spec.Net_spec.seed_of_packets spec [])
          ~exec_ns:0 ~discovered_ns:(now st) ~state_code:0);
-  let corpus_array () =
-    Array.of_list (List.map (fun e -> e.Corpus.program) (Corpus.entries st.corpus))
-  in
   while not (over_budget st) do
     let entry_sched = Corpus.schedule st.corpus st.rng in
     let packets = entry_sched.Corpus.packets in
-    let corpus_progs = corpus_array () in
+    (* Cached newest-first snapshot; Corpus.programs only reallocates
+       after growth, so steady-state rounds stop paying O(corpus). *)
+    let corpus_progs = Corpus.programs st.corpus in
     match Policy.decide policy ~input_id:entry_sched.Corpus.id ~packets with
     | `Root ->
       let i = ref 0 in

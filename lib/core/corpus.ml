@@ -7,9 +7,29 @@ type entry = {
   state_code : int;
 }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+(* Indexed growable array (hand-rolled: no stdlib Dynarray on 5.1),
+   oldest-first so [store.(id)] is the entry with that id.  Replaces the
+   reversed list whose [List.nth] made every scheduling round O(corpus).
+   [freq] maintains per-state entry counts on [add] so state-aware
+   scheduling never rebuilds its table; [progs_cache] memoizes the
+   newest-first program snapshot handed to the mutator, rebuilt only
+   after the corpus has grown. *)
+type t = {
+  mutable store : entry array;  (* dense prefix [0, count), oldest first *)
+  mutable count : int;
+  freq : (int, int) Hashtbl.t;  (* state_code -> number of entries *)
+  mutable progs_cache : Nyx_spec.Program.t array;
+  mutable progs_cache_count : int;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let create () =
+  {
+    store = [||];
+    count = 0;
+    freq = Hashtbl.create 16;
+    progs_cache = [||];
+    progs_cache_count = 0;
+  }
 
 let size t = t.count
 
@@ -24,11 +44,18 @@ let add t ~program ~exec_ns ~discovered_ns ~state_code =
       state_code;
     }
   in
-  t.rev_entries <- entry :: t.rev_entries;
+  let cap = Array.length t.store in
+  if t.count = cap then
+    t.store <- Array.append t.store (Array.make (max 16 cap) entry);
+  t.store.(t.count) <- entry;
   t.count <- t.count + 1;
+  Hashtbl.replace t.freq state_code
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.freq state_code));
   entry
 
-let nth_newest t i = List.nth t.rev_entries i
+let nth_newest t i =
+  if i < 0 || i >= t.count then invalid_arg "Corpus.nth_newest: out of bounds";
+  t.store.(t.count - 1 - i)
 
 let schedule t rng =
   if t.count = 0 then invalid_arg "Corpus.schedule: empty corpus";
@@ -37,19 +64,32 @@ let schedule t rng =
 
 let schedule_state_aware t rng =
   if t.count = 0 then invalid_arg "Corpus.schedule: empty corpus";
-  (* Weight inversely by how common each entry's protocol state is. *)
-  let freq = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      Hashtbl.replace freq e.state_code
-        (1 + Option.value ~default:0 (Hashtbl.find_opt freq e.state_code)))
-    t.rev_entries;
-  let weighted =
-    List.map
-      (fun e ->
-        (e, 1.0 /. float_of_int (Option.value ~default:1 (Hashtbl.find_opt freq e.state_code))))
-      t.rev_entries
+  (* Weight inversely by how common each entry's protocol state is, from
+     the maintained table.  Weights accumulate newest-first in the exact
+     order the old list-based path summed them, so the float totals — and
+     therefore the RNG draw and the pick — are bit-for-bit unchanged. *)
+  let weight e = 1.0 /. float_of_int (Hashtbl.find t.freq e.state_code) in
+  let total = ref 0.0 in
+  for i = t.count - 1 downto 0 do
+    total := !total +. weight t.store.(i)
+  done;
+  let target = Nyx_sim.Rng.float rng !total in
+  let rec pick acc i =
+    if i = 0 then t.store.(0)
+    else begin
+      let e = t.store.(i) in
+      let w = weight e in
+      if acc +. w > target then e else pick (acc +. w) (i - 1)
+    end
   in
-  Nyx_sim.Rng.weighted rng weighted
+  pick 0.0 (t.count - 1)
 
-let entries t = t.rev_entries
+let programs t =
+  if t.progs_cache_count <> t.count then begin
+    t.progs_cache <-
+      Array.init t.count (fun i -> t.store.(t.count - 1 - i).program);
+    t.progs_cache_count <- t.count
+  end;
+  t.progs_cache
+
+let entries t = List.init t.count (fun i -> t.store.(t.count - 1 - i))

@@ -25,12 +25,20 @@ val add :
 val schedule : t -> Nyx_sim.Rng.t -> entry
 (** Pick the next input: half the time uniformly, half the time biased to
     the newest quarter of the queue (favoring fresh coverage finders, as
-    AFL-style queue culling does).
+    AFL-style queue culling does). O(1): the queue is an indexed array.
     @raise Invalid_argument when empty. *)
 
 val schedule_state_aware : t -> Nyx_sim.Rng.t -> entry
 (** AFLNet-style: bias towards entries that reached rarely-seen protocol
-    states. *)
+    states. The per-state frequency table is maintained on [add] (never
+    rebuilt per call), and the weighted walk allocates nothing. *)
+
+val programs : t -> Nyx_spec.Program.t array
+(** Newest-first snapshot of every stored program, for the mutator's
+    splice donor pool. Cached: rebuilt only after the corpus has grown,
+    so steady-state scheduling rounds pay O(1), not O(corpus). Callers
+    must treat the array as read-only and must not hold it across [add]
+    if they need to observe the growth. *)
 
 val entries : t -> entry list
-(** Newest first. *)
+(** Newest first. Reporting-only: allocates a fresh list per call. *)

@@ -3,7 +3,14 @@
     Targets are "compiled" with instrumentation callbacks at branch sites;
     each callback hashes the site id with the previous location into a
     64 KiB map, exactly like AFL's shared-memory bitmap that Nyx-Net
-    redirects into QEMU's shared memory. *)
+    redirects into QEMU's shared memory.
+
+    The map carries a hit-site {e journal} — the coverage-layer analogue
+    of the paper's dirty stack (§"fast reload"): every cell touched this
+    execution is recorded once, so [reset], [save], [restore], [matches]
+    and [Cumulative.merge] are O(touched cells), never O(map).  The
+    [_slow] full-scan variants are the pre-journal reference
+    implementations, kept only for property tests and benchmarks. *)
 
 val map_size : int
 (** 65536. *)
@@ -13,26 +20,49 @@ type t
 val create : unit -> t
 
 val reset : t -> unit
-(** Clear per-execution state (map and previous-location register). *)
+(** Clear per-execution state (map and previous-location register).
+    O(touched cells): only journaled cells are cleared. *)
+
+val reset_slow : t -> unit
+(** Reference implementation: O(map) full fill. Behaviourally identical
+    to [reset]; for property tests and the hotpath bench only. *)
 
 val hit : t -> int -> unit
 (** [hit t site] records an edge from the previous site to [site]
     (saturating 8-bit hit counts). *)
 
 val edge_count : t -> int
-(** Distinct map cells hit this execution. *)
+(** Distinct map cells hit this execution. O(1): the journal length. *)
+
+val edge_count_slow : t -> int
+(** Reference implementation: O(map) full scan. *)
 
 val iter_hits : t -> (int -> int -> unit) -> unit
 (** [iter_hits t f] calls [f index bucketed_count] for each hit cell,
-    with AFL's logarithmic hit-count bucketing applied. *)
+    with AFL's logarithmic hit-count bucketing applied.  Reporting-only:
+    O(map) full scan in cell-index order; hot paths walk the journal. *)
+
+val signature : t -> (int * int) array
+(** Sorted [(cell, raw_count)] view of the nonzero cells — a canonical
+    O(touched log touched) fingerprint of the map, independent of the
+    order cells were hit in. Two maps are byte-identical iff their
+    signatures and previous-location registers agree. *)
 
 type checkpoint
 
 val save : t -> checkpoint
 (** Capture the per-execution map state — used when an incremental
-    snapshot is taken so suffix executions replay the prefix coverage. *)
+    snapshot is taken so suffix executions replay the prefix coverage.
+    O(touched cells): only live cells are stored. *)
 
 val restore : t -> checkpoint -> unit
+(** O(currently touched + saved cells). *)
+
+val matches : t -> checkpoint -> bool
+(** [matches t cp] is [true] iff the current map state (cells, counts,
+    and previous-location register) is exactly the checkpointed one —
+    equivalent to structurally comparing two full-map copies, in
+    O(touched cells) and without allocating. *)
 
 (** Cumulative "virgin" map across a campaign. *)
 module Cumulative : sig
@@ -43,9 +73,18 @@ module Cumulative : sig
 
   val merge : t -> cov -> bool
   (** Fold one execution's map in; [true] if it contributed any new
-      coverage (new cell or new hit-count bucket). *)
+      coverage (new cell or new hit-count bucket).  Walks the
+      execution's journal directly: O(touched cells), closure-free. *)
+
+  val merge_slow : t -> cov -> bool
+  (** Reference implementation via [iter_hits]: O(map). Same verdict and
+      same resulting state as [merge]; for property tests and the
+      hotpath bench only. *)
 
   val edge_count : t -> int
   (** Distinct cells ever hit — the "branch coverage" metric of
-      Table 2. *)
+      Table 2. O(1): maintained incrementally by merges. *)
+
+  val edge_count_slow : t -> int
+  (** Reference implementation: O(map) full scan. *)
 end
