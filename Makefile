@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test bench-smoke bench-hotpath bench clean
+.PHONY: all check build test lint bench-smoke bench-hotpath bench clean
 
 all: check
 
@@ -10,11 +10,25 @@ build:
 test:
 	dune runtest
 
-# Tier-1 verify: what CI runs. Both smoke benches are asserted
-# crash-free under NYX_DOMAINS=4 (hotpath additionally fails if the
-# before/after gears diverge or the speedup drops below 2x).
+# Static analysis: the domain-safety source lint over every shared
+# library and executable, then the spec linter + program verifier over
+# all registered targets' specs and seed programs. Both exit non-zero on
+# error-severity findings.
+lint:
+	dune build @all
+	dune exec bin/domain_lint.exe -- lib bin bench
+	dune exec bin/nyx_net_fuzz.exe -- lint --all-targets
+
+# Tier-1 verify: what CI runs. Build + tests, the lint suite, the test
+# suite again under the interpreter sanitizer (NYX_SANITIZE asserts the
+# verifier's facts at runtime; --force because dune does not track env
+# vars), and both smoke benches asserted crash-free under NYX_DOMAINS=4
+# (hotpath additionally fails if the before/after gears diverge or the
+# speedup drops below 2x).
 check:
 	dune build @all && dune runtest
+	$(MAKE) lint
+	NYX_SANITIZE=1 dune runtest --force
 	NYX_DOMAINS=4 NYX_BENCH_SMOKE_BUDGET_S=1 NYX_BENCH_FLEET=2 dune exec bench/main.exe -- parallel_smoke
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 

@@ -88,11 +88,12 @@ let run_one ?(asan = false) ?(stop_on_solve = false) ?budget fuzzer entry seed =
          entry)
   | Baseline spec -> Nyx_baselines.Fuzzers.run spec ~budget_ns ~max_execs ~seed entry
 
+(* Domain-safety: the matrix cache is the only mutable state shared across
+   bench tasks; every access holds [matrix_mutex] so prewarm workers and
+   table code can never race on it. *)
 let matrix : (string * string, Report.campaign_result list option) Hashtbl.t =
   Hashtbl.create 128
 
-(* The matrix cache is the only mutable state shared across bench tasks;
-   guard it so prewarm workers and table code can never race on it. *)
 let matrix_mutex = Mutex.create ()
 
 let matrix_find key =

@@ -1,0 +1,24 @@
+(* domain-lint: scan OCaml sources for top-level mutable state that lacks
+   the repo's domain-safety annotation (see Nyx_analysis.Source_lint).
+   Usage: domain_lint [DIR|FILE]...  (default: lib). Exit 1 on findings. *)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.concat_map (fun f -> ml_files (Filename.concat path f))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
+  in
+  let files = List.concat_map ml_files roots |> List.sort compare in
+  let findings = List.concat_map Nyx_analysis.Source_lint.lint_file files in
+  List.iter (fun f -> Format.printf "%a@." Nyx_analysis.Source_lint.pp_finding f) findings;
+  if findings <> [] then begin
+    Format.printf "domain-lint: %d finding(s) in %d file(s) scanned@."
+      (List.length findings) (List.length files);
+    exit 1
+  end;
+  Format.printf "domain-lint: clean (%d file(s) scanned)@." (List.length files)

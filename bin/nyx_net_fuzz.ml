@@ -292,10 +292,102 @@ let replay_cmd =
   let doc = "Replay (and optionally minimize) a serialized reproducer." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ target_arg $ input_arg $ minimize_arg))
 
+(* lint command: static analysis over spec declarations, seed programs and
+   optional captures (the Nyx_analysis passes) *)
+
+let lint_cmd =
+  let all_arg =
+    let doc = "Audit every registered target (the default when no TARGET is given)." in
+    Arg.(value & flag & info [ "all-targets" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the findings report as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let lint_target_arg =
+    let doc = "Audit a single target's seed programs. " ^ targets_doc in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let run all json target seeds_file =
+    let ( let* ) = Result.bind in
+    let ns = Nyx_core.Campaign.net_spec () in
+    let ipc = Nyx_targets.Ipc_spec.create () in
+    let entry_name e =
+      e.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name
+    in
+    let audit_seeds entry =
+      List.mapi
+        (fun i p ->
+          Nyx_analysis.Audit.program
+            ~subject:(Printf.sprintf "%s/seed[%d]" (entry_name entry) i)
+            p)
+        (Nyx_targets.Registry.seed_programs entry ns)
+    in
+    let result =
+      let* entries =
+        if all || target = None then Ok (Nyx_targets.Registry.all ())
+        else
+          let* e = lookup_target (Option.get target) in
+          Ok [ e ]
+      in
+      let* capture_entries =
+        match seeds_file with
+        | None -> Ok []
+        | Some path -> (
+          match Nyx_pcap.Capture.load path with
+          | Error m -> Error (`Msg ("cannot load capture: " ^ m))
+          | Ok cap ->
+            let dissector =
+              match entries with
+              | [ e ] ->
+                e.Nyx_targets.Registry.target.Nyx_targets.Target.info
+                  .Nyx_targets.Target.dissector
+              | _ -> Nyx_pcap.Dissector.Raw
+            in
+            Ok
+              [
+                Nyx_analysis.Audit.capture
+                  ~subject:
+                    (Printf.sprintf "capture %s (%s)" path
+                       (Nyx_pcap.Dissector.name dissector))
+                  ns dissector cap;
+              ])
+      in
+      let spec_audit s =
+        Nyx_analysis.Audit.spec
+          ~subject:(Printf.sprintf "spec %s" (Nyx_spec.Spec.name s))
+          s
+      in
+      Ok
+        (Nyx_analysis.Audit.of_entries
+           (spec_audit ns.Nyx_spec.Net_spec.spec
+            :: spec_audit ipc.Nyx_targets.Ipc_spec.spec
+            :: Nyx_analysis.Audit.program ~subject:"firefox-ipc-typed/seed"
+                 (Nyx_targets.Ipc_spec.seed ipc)
+            :: (List.concat_map audit_seeds entries @ capture_entries)))
+    in
+    match result with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok audit ->
+      if json then print_endline (Nyx_analysis.Audit.to_json audit)
+      else Format.printf "%a" Nyx_analysis.Audit.pp audit;
+      (* Lint failure is exit code 1 (distinct from cmdliner's CLI-error
+         codes): errors fail the build, warnings do not. *)
+      if not (Nyx_analysis.Audit.is_clean audit) then exit 1;
+      `Ok ()
+  in
+  let doc =
+    "Statically analyse spec declarations, seed programs and captures: the \
+     program verifier and spec linter of the nyx_analysis layer."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ all_arg $ json_arg $ lint_target_arg $ seeds_arg))
+
 let main =
   let doc = "Nyx-Net: network fuzzing with incremental snapshots (OCaml reproduction)" in
   Cmd.group
     (Cmd.info "nyx-net-fuzz" ~doc)
-    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd ]
+    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -33,6 +33,14 @@ let () =
     (Array.length seed.Nyx_spec.Program.ops)
     Nyx_spec.Program.pp seed;
 
+  (* Audit the import before spending budget on it: the verifier proves
+     the seed well-formed and warns about degenerate snapshot placements
+     (a leading or trailing snapshot would waste the incremental-snapshot
+     machinery on this very seed). *)
+  let audit = Nyx_analysis.Audit.of_entries [ Nyx_analysis.Audit.program ~subject:"proftpd seed" seed ] in
+  Format.printf "Verifier: %a" Nyx_analysis.Audit.pp audit;
+  assert (Nyx_analysis.Audit.is_clean audit);
+
   (* Step 5: run all three snapshot policies on the same budget. *)
   List.iter
     (fun policy ->

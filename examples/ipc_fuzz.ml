@@ -27,6 +27,15 @@ let () =
   let seed = Nyx_spec.Builder.build b in
   Format.printf "Hand-built multi-connection seed:@.%a@." Nyx_spec.Program.pp seed;
 
+  (* Hand-written seeds are exactly where the static verifier earns its
+     keep: check affine discipline and snapshot placement before fuzzing. *)
+  let audit =
+    Nyx_analysis.Audit.of_entries
+      [ Nyx_analysis.Audit.program ~subject:"hand-built ipc seed" seed ]
+  in
+  Format.printf "Verifier: %a" Nyx_analysis.Audit.pp audit;
+  assert (Nyx_analysis.Audit.is_clean audit);
+
   (* Fuzz it. Firefox IPC messages are long sequences, so incremental
      snapshots pay off; asan is on, as Mozilla's fuzzing builds are. *)
   let config =
@@ -53,6 +62,16 @@ let () =
   (* Phase two: the same campaign through the typed IPC spec — every
      generated input is a well-formed actor session (§2.2's approach). *)
   let ts = Nyx_targets.Ipc_spec.create () in
+  let typed_audit =
+    Nyx_analysis.Audit.of_entries
+      [
+        Nyx_analysis.Audit.spec ~subject:"firefox-ipc-typed spec"
+          ts.Nyx_targets.Ipc_spec.spec;
+        Nyx_analysis.Audit.program ~subject:"typed ipc seed"
+          (Nyx_targets.Ipc_spec.seed ts);
+      ]
+  in
+  assert (Nyx_analysis.Audit.is_clean typed_audit);
   let r2 =
     Nyx_core.Campaign.run
       ~seeds:[ Nyx_targets.Ipc_spec.seed ts ]

@@ -37,7 +37,15 @@ let () =
         let spec = Nyx_core.Campaign.net_spec () in
         match Nyx_spec.Program.parse spec.Nyx_spec.Net_spec.spec c.Nyx_core.Report.input with
         | Ok program ->
-          Format.printf "Reproducer:@.%a@." Nyx_spec.Program.pp program
+          Format.printf "Reproducer:@.%a@." Nyx_spec.Program.pp program;
+          (* Anything the fuzzer hands back must satisfy the same static
+             verifier the seeds pass through. *)
+          (match Nyx_analysis.Verifier.errors program with
+          | [] -> ()
+          | errs ->
+            Format.printf "Verifier rejected the reproducer:@.";
+            List.iter (fun d -> Format.printf "  %a@." Nyx_analysis.Diag.pp d) errs;
+            failwith "reproducer failed verification")
         | Error m -> Format.printf "(reproducer parse error: %s)@." m)
       crashes);
   Format.printf "Snapshot mechanics: the campaign above replayed common packet@.";

@@ -1,0 +1,49 @@
+type entry = { subject : string; diags : Diag.t list }
+
+type t = { entries : entry list }
+
+let program ~subject p = { subject; diags = Verifier.check p }
+let spec ~subject s = { subject; diags = Spec_lint.check s }
+
+let capture ~subject net_spec dissector cap =
+  program ~subject (Nyx_pcap.Importer.to_seed net_spec dissector cap)
+
+let of_entries entries = { entries }
+let merge a b = { entries = a.entries @ b.entries }
+
+let subjects t = List.length t.entries
+
+let count sev t =
+  List.fold_left (fun acc e -> acc + Diag.count sev e.diags) 0 t.entries
+
+let errors t = count Diag.Error t
+let warnings t = count Diag.Warning t
+let infos t = count Diag.Info t
+let is_clean t = errors t = 0
+
+let flagged t = List.filter (fun e -> e.diags <> []) t.entries
+
+let pp ppf t =
+  let flagged = flagged t in
+  Format.fprintf ppf "findings: %d error(s), %d warning(s), %d info in %d of %d subject(s)@."
+    (errors t) (warnings t) (infos t) (List.length flagged) (subjects t);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s:@." e.subject;
+      List.iter (fun d -> Format.fprintf ppf "  %a@." Diag.pp d) e.diags)
+    flagged
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"subjects":%d,"errors":%d,"warnings":%d,"infos":%d,"entries":[|}
+       (subjects t) (errors t) (warnings t) (infos t));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|{"subject":"%s","diags":[%s]}|} (Diag.json_escape e.subject)
+           (String.concat "," (List.map Diag.to_json e.diags))))
+    (flagged t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

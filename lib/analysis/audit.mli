@@ -1,0 +1,40 @@
+(** Seed/corpus auditor: runs the verifier/linter over collections of
+    subjects (PCAP-imported seeds, live corpus entries, spec declarations)
+    and aggregates the diagnostics into one findings report with pretty
+    and JSON renderings. *)
+
+type entry = { subject : string; diags : Diag.t list }
+
+type t
+
+val program : subject:string -> Nyx_spec.Program.t -> entry
+(** Verifier findings for one program. *)
+
+val spec : subject:string -> Nyx_spec.Spec.t -> entry
+(** Spec-linter findings for one spec declaration. *)
+
+val capture :
+  subject:string ->
+  Nyx_spec.Net_spec.t ->
+  Nyx_pcap.Dissector.t ->
+  Nyx_pcap.Capture.t ->
+  entry
+(** Import a capture through the standard PCAP→seed pipeline and audit
+    the resulting seed program. *)
+
+val of_entries : entry list -> t
+val merge : t -> t -> t
+
+val subjects : t -> int
+val errors : t -> int
+val warnings : t -> int
+val infos : t -> int
+
+val is_clean : t -> bool
+(** No error-severity findings (warnings allowed). *)
+
+val flagged : t -> entry list
+(** Only the entries with at least one diagnostic. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

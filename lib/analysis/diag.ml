@@ -1,0 +1,43 @@
+type severity = Error | Warning | Info
+
+type t = { code : string; severity : severity; site : string; msg : string }
+
+let make severity ~code ~site msg = { code; severity; site; msg }
+let error ~code ~site msg = make Error ~code ~site msg
+let warning ~code ~site msg = make Warning ~code ~site msg
+let info ~code ~site msg = make Info ~code ~site msg
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_name d.severity) d.code d.site d.msg
+
+(* Minimal JSON string escaping: the diagnostics only ever carry ASCII
+   produced by our own printers, but data-derived names could contain
+   anything. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when c < ' ' -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf {|{"severity":"%s","code":"%s","site":"%s","msg":"%s"}|}
+    (severity_name d.severity) (json_escape d.code) (json_escape d.site)
+    (json_escape d.msg)

@@ -1,0 +1,32 @@
+(** Diagnostics shared by every analysis pass.
+
+    A diagnostic names the check that fired ([code], a stable kebab-case
+    identifier suitable for allowlists), where it fired ([site], e.g.
+    ["op 5"] or ["node packet"]), and what went wrong. [Error] means the
+    subject is broken (a program the interpreter would misexecute, a spec
+    the mutator cannot use soundly); [Warning] flags constructs that are
+    legal but waste fuzzing effort (dead values, degenerate snapshot
+    placement); [Info] is advisory. Only errors affect exit codes. *)
+
+type severity = Error | Warning | Info
+
+type t = { code : string; severity : severity; site : string; msg : string }
+
+val make : severity -> code:string -> site:string -> string -> t
+val error : code:string -> site:string -> string -> t
+val warning : code:string -> site:string -> string -> t
+val info : code:string -> site:string -> string -> t
+
+val severity_name : severity -> string
+val is_error : t -> bool
+
+val count : severity -> t list -> int
+(** Number of diagnostics of the given severity. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["error[affine-use-after-consume] op 5: ..."] *)
+
+val to_json : t -> string
+(** One JSON object; strings are escaped. *)
+
+val json_escape : string -> string

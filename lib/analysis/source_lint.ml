@@ -1,0 +1,167 @@
+(* Domain-safety source lint: a lexical scan for top-level mutable state.
+
+   Since PR 1, campaigns fan out across OCaml 5 domains. Every module
+   shared by workers must either hold no top-level mutable state or
+   document (and implement) its synchronization — the convention is a
+   comment containing "domain-safe" (e.g. "Domain-safety invariant: ...")
+   on or just above the binding. This lint flags top-level *value*
+   bindings whose right-hand side allocates something mutable and that
+   carry no such annotation. Function bindings are exempt: state they
+   allocate is per call.
+
+   It is a line-level heuristic, not a parser: good enough to catch the
+   `let cache = Hashtbl.create 64` class of races before review does,
+   cheap enough to run on every `make lint`. *)
+
+type finding = { file : string; line : int; binding : string; pattern : string }
+
+let annotation = "domain-safe"
+
+(* Domain-safety patterns: constructors whose result is shared mutable
+   state when bound at top level. Mutex/Condition are deliberately
+   absent: they are the synchronization, not the hazard. *)
+let patterns =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create";
+    "Atomic.make"; "Array.make"; "Array.create"; "Array.init"; "Bytes.make";
+    "Bytes.create"; "Weak.create"; "Lazy.from_fun"; "lazy";
+  ]
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Word-boundary substring search; the "word" may contain dots. *)
+let contains_token line tok =
+  let ll = String.length line and tl = String.length tok in
+  let rec scan i =
+    if i + tl > ll then false
+    else if
+      String.sub line i tl = tok
+      && (i = 0 || not (is_word_char line.[i - 1] || line.[i - 1] = '.'))
+      && (i + tl >= ll || not (is_word_char line.[i + tl] || line.[i + tl] = '.'))
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let find_pattern line = List.find_opt (contains_token line) patterns
+
+let lowercase = String.lowercase_ascii
+
+let has_annotation line =
+  let l = lowercase line in
+  let al = String.length annotation and ll = String.length l in
+  let rec scan i =
+    if i + al > ll then false
+    else if String.sub l i al = annotation then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* How far above a binding the annotation comment may sit. *)
+let annotation_window = 5
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* A top-level `let` that binds a plain value: `let name =` or
+   `let name : ty =` with nothing else between name and `=`. Returns the
+   bound name. Function definitions (parameters before `=`, or we never
+   find a bare `=` on the line) return None. *)
+let value_binding line =
+  if not (starts_with ~prefix:"let " line) then None
+  else
+    let rest = String.sub line 4 (String.length line - 4) in
+    let rest =
+      if starts_with ~prefix:"rec " rest then String.sub rest 4 (String.length rest - 4)
+      else rest
+    in
+    let len = String.length rest in
+    let rec name_end i =
+      if i < len && is_word_char rest.[i] then name_end (i + 1) else i
+    in
+    let e = name_end 0 in
+    if e = 0 then None
+    else begin
+      let name = String.sub rest 0 e in
+      if name = "_" then None
+      else
+        (* Between the name and `=` only whitespace or a `:`-annotation may
+           appear; a parameter means this is a function definition. *)
+        let rec scan i saw_colon =
+          if i >= len then if saw_colon then Some name else None (* `let x :` split across lines: treat as value *)
+          else
+            match rest.[i] with
+            | ' ' | '\t' -> scan (i + 1) saw_colon
+            | ':' -> scan (i + 1) true
+            | '=' when i + 1 >= len || rest.[i + 1] <> '=' -> Some name
+            | _ when saw_colon -> scan (i + 1) saw_colon (* inside the type annotation *)
+            | _ -> None
+        in
+        scan e false
+    end
+
+let lint_string ~file contents =
+  let lines = Array.of_list (String.split_on_char '\n' contents) in
+  let n = Array.length lines in
+  let findings = ref [] in
+  let annotated_near i =
+    let lo = max 0 (i - annotation_window) in
+    let rec any j = j <= i && (has_annotation lines.(j) || any (j + 1)) in
+    any lo
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match value_binding lines.(!i) with
+    | None -> incr i
+    | Some name ->
+      let start = !i in
+      (* The binding's right-hand side: the rest of this line plus every
+         continuation (indented or blank) line. *)
+      let rhs = Buffer.create 64 in
+      Buffer.add_string rhs lines.(start);
+      incr i;
+      while
+        !i < n
+        && (lines.(!i) = ""
+           || lines.(!i).[0] = ' '
+           || lines.(!i).[0] = '\t')
+      do
+        Buffer.add_char rhs '\n';
+        Buffer.add_string rhs lines.(!i);
+        incr i
+      done;
+      let rhs = Buffer.contents rhs in
+      (* A value whose body is a closure allocates nothing shared. *)
+      let body =
+        match String.index_opt rhs '=' with
+        | None -> ""
+        | Some eq -> String.trim (String.sub rhs (eq + 1) (String.length rhs - eq - 1))
+      in
+      let is_closure =
+        starts_with ~prefix:"fun " body || starts_with ~prefix:"function" body
+        || starts_with ~prefix:"fun\n" body
+      in
+      if not is_closure then
+        match find_pattern rhs with
+        | Some pattern when not (annotated_near start || has_annotation rhs) ->
+          findings := { file; line = start + 1; binding = name; pattern } :: !findings
+        | _ -> ())
+  done;
+  List.rev !findings
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  lint_string ~file:path contents
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "%s:%d: top-level binding `%s` allocates mutable state (%s) without a %S \
+     annotation"
+    f.file f.line f.binding f.pattern annotation

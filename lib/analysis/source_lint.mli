@@ -1,0 +1,31 @@
+(** Domain-safety source lint.
+
+    A lexical scan of OCaml sources for top-level value bindings that
+    allocate mutable state ([ref], [Hashtbl.create], [Array.make], ...)
+    without the repo's domain-safety annotation — a comment containing
+    ["domain-safe"] (case-insensitive) on the binding or within a few
+    lines above it. Campaigns run across OCaml 5 domains (PR 1), so any
+    unannotated top-level mutable binding in a shared library is a
+    candidate data race. Function definitions are exempt: what they
+    allocate is per call.
+
+    This is a heuristic line scanner, not a parser; it is meant to run
+    from [make lint] and flag candidates for human review. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based line of the [let]. *)
+  binding : string;  (** Name bound at top level. *)
+  pattern : string;  (** The mutable-state constructor that matched. *)
+}
+
+val annotation : string
+(** The substring that suppresses a finding: ["domain-safe"]. *)
+
+val lint_string : file:string -> string -> finding list
+(** Lint source text; [file] is used only for reporting. *)
+
+val lint_file : string -> finding list
+(** Read and lint one [.ml] file. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,173 @@
+open Nyx_spec
+
+(* Lints a spec declaration itself: problems here are invisible to
+   [Program.validate] (every individual program may be well-formed) but
+   cripple fuzzing — an opcode the mutator can never construct arguments
+   for is an opcode that never appears in any generated input. *)
+
+let node_site (nt : Spec.node_ty) = Printf.sprintf "node %s" nt.Spec.nt_name
+
+let inputs nt = nt.Spec.borrows @ nt.Spec.consumes
+
+(* Constructibility fixpoint: a node type is constructible when every
+   input edge type is producible, and an edge type is producible when
+   some already-constructible node outputs it. This catches both "no node
+   outputs this type at all" and bootstrap cycles (the only producer of X
+   itself needs an X). *)
+let constructible_nodes (nodes : Spec.node_ty array) =
+  let n = Array.length nodes in
+  let constructible = Array.make n false in
+  let producible = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i nt ->
+        if not constructible.(i)
+           && List.for_all
+                (fun (e : Spec.edge_ty) -> Hashtbl.mem producible e.Spec.et_id)
+                (inputs nt)
+        then begin
+          constructible.(i) <- true;
+          List.iter
+            (fun (e : Spec.edge_ty) ->
+              if not (Hashtbl.mem producible e.Spec.et_id) then begin
+                Hashtbl.replace producible e.Spec.et_id ();
+                changed := true
+              end)
+            nt.Spec.outputs;
+          changed := true
+        end)
+      nodes
+  done;
+  (constructible, producible)
+
+let check (spec : Spec.t) : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let nodes = Spec.nodes spec in
+  (* Reserved snapshot opcode: node 0, bare. The builder API guarantees
+     this; a spec assembled any other way must still honour it because the
+     policies and the interpreter special-case node id 0. *)
+  (if Array.length nodes = 0 then
+     emit
+       (Diag.error ~code:"snapshot-node-malformed" ~site:"node 0"
+          "spec declares no node types; node 0 must be the reserved snapshot opcode")
+   else
+     let s = nodes.(0) in
+     if
+       s.Spec.nt_id <> Spec.snapshot_node_id
+       || s.Spec.nt_name <> "snapshot"
+       || inputs s <> [] || s.Spec.outputs <> [] || s.Spec.data <> []
+     then
+       emit
+         (Diag.error ~code:"snapshot-node-malformed" ~site:"node 0"
+            "node 0 must be the reserved snapshot opcode with no inputs, outputs \
+             or data"));
+  (* Name collisions. A duplicate node name breaks [Spec.node_by_name]
+     (and with it the builder API) silently: only the first wins. *)
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (nt : Spec.node_ty) ->
+      match Hashtbl.find_opt seen nt.Spec.nt_name with
+      | Some first ->
+        emit
+          (Diag.error ~code:"node-name-collision" ~site:(node_site nt)
+             (Printf.sprintf "node name %S already used by node id %d" nt.Spec.nt_name
+                first))
+      | None -> Hashtbl.replace seen nt.Spec.nt_name nt.Spec.nt_id)
+    nodes;
+  (* Edge/data name collisions are confusing in diagnostics and dumps but
+     do not break dispatch (lookups are by id): warning. *)
+  let edge_names = Hashtbl.create 16 and edge_ids = Hashtbl.create 16 in
+  let data_names = Hashtbl.create 16 and data_ids = Hashtbl.create 16 in
+  Array.iter
+    (fun (nt : Spec.node_ty) ->
+      List.iter
+        (fun (e : Spec.edge_ty) ->
+          if not (Hashtbl.mem edge_ids e.Spec.et_id) then begin
+            Hashtbl.replace edge_ids e.Spec.et_id e;
+            match Hashtbl.find_opt edge_names e.Spec.et_name with
+            | Some other when other <> e.Spec.et_id ->
+              emit
+                (Diag.warning ~code:"edge-name-collision"
+                   ~site:(Printf.sprintf "edge %s" e.Spec.et_name)
+                   (Printf.sprintf "edge types %d and %d share the name %S" other
+                      e.Spec.et_id e.Spec.et_name))
+            | _ -> Hashtbl.replace edge_names e.Spec.et_name e.Spec.et_id
+          end)
+        (inputs nt @ nt.Spec.outputs);
+      List.iter
+        (fun (d : Spec.data_ty) ->
+          if not (Hashtbl.mem data_ids d.Spec.dt_id) then begin
+            Hashtbl.replace data_ids d.Spec.dt_id d;
+            (match Hashtbl.find_opt data_names d.Spec.dt_name with
+            | Some other when other <> d.Spec.dt_id ->
+              emit
+                (Diag.warning ~code:"data-name-collision"
+                   ~site:(Printf.sprintf "data %s" d.Spec.dt_name)
+                   (Printf.sprintf "data types %d and %d share the name %S" other
+                      d.Spec.dt_id d.Spec.dt_name))
+            | _ -> Hashtbl.replace data_names d.Spec.dt_name d.Spec.dt_id);
+            (* Zero/negative bounds: the only legal payload is empty, so
+               the field (and any havoc on it) is dead weight. *)
+            if d.Spec.max_len <= 0 then
+              emit
+                (Diag.error ~code:"zero-data-bound"
+                   ~site:(Printf.sprintf "data %s" d.Spec.dt_name)
+                   (Printf.sprintf "data type %S has max_len %d; no payload can ever \
+                                    be carried"
+                      d.Spec.dt_name d.Spec.max_len))
+          end)
+        nt.Spec.data)
+    nodes;
+  (* Constructibility. *)
+  let constructible, producible = constructible_nodes nodes in
+  Array.iteri
+    (fun i (nt : Spec.node_ty) ->
+      if not constructible.(i) then begin
+        let missing =
+          List.filter
+            (fun (e : Spec.edge_ty) -> not (Hashtbl.mem producible e.Spec.et_id))
+            (inputs nt)
+          |> List.map (fun (e : Spec.edge_ty) -> e.Spec.et_name)
+          |> List.sort_uniq compare
+        in
+        emit
+          (Diag.error ~code:"unconstructible-node" ~site:(node_site nt)
+             (Printf.sprintf
+                "no constructible node outputs %s: the mutator can never generate \
+                 this opcode"
+                (match missing with
+                | [] -> "its input types" (* cycle through constructible deps *)
+                | l -> String.concat ", " l)))
+      end)
+    nodes;
+  (* Unused edge types: producible but never an input anywhere — every
+     value of this type is born dead. *)
+  let input_edges = Hashtbl.create 16 in
+  Array.iter
+    (fun nt ->
+      List.iter
+        (fun (e : Spec.edge_ty) -> Hashtbl.replace input_edges e.Spec.et_id ())
+        (inputs nt))
+    nodes;
+  Hashtbl.iter
+    (fun id (e : Spec.edge_ty) ->
+      if not (Hashtbl.mem input_edges id)
+         && Array.exists
+              (fun nt ->
+                List.exists (fun (o : Spec.edge_ty) -> o.Spec.et_id = id) nt.Spec.outputs)
+              nodes
+      then
+        emit
+          (Diag.warning ~code:"unused-edge-type"
+             ~site:(Printf.sprintf "edge %s" e.Spec.et_name)
+             (Printf.sprintf "edge type %S is output but no node borrows or consumes \
+                              it"
+                e.Spec.et_name)))
+    edge_ids;
+  List.rev !diags
+
+let errors spec = List.filter Diag.is_error (check spec)
+let is_clean spec = errors spec = []

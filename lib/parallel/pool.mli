@@ -1,0 +1,67 @@
+(** A bounded domain pool (OCaml 5 Domains + Mutex/Condition, no deps).
+
+    {2 Domain-safety contract}
+
+    The pool provides scheduling, ordered result collection and exception
+    capture — {e nothing else}. Callers must uphold:
+
+    - Tasks share no mutable state with each other or with the caller
+      while the pool runs them. The campaign layers satisfy this by
+      construction: every instance owns its virtual clock, VM, RNG and
+      corpus. Modules that must share state at top level document it with
+      the repo's ["domain-safe"] comment convention (enforced by
+      [make lint] via {!Nyx_analysis.Source_lint}).
+    - {!map}/{!map_list} results are in submission order and each task is
+      a pure function of its input, so output is byte-identical whatever
+      the domain count. [domains = 1] (or [NYX_DOMAINS=1]) bypasses the
+      pool and runs on the calling domain — exactly the pre-parallel
+      sequential path.
+    - Internally, each result slot is written by exactly one task; the
+      [wait] mutex publishes the writes to the caller (OCaml memory
+      model), so no atomics are needed. *)
+
+exception Task_error of { index : int; exn : exn }
+(** Raised by {!map}/{!map_list} when a task raised: the lowest failing
+    submission index, carrying the original exception. *)
+
+val max_domains : int
+(** Hard cap (48), well under the runtime's ~128-domain limit so nested
+    users (a fleet inside a bench) cannot exhaust the budget. *)
+
+val recommended : unit -> int
+(** [min max_domains (Domain.recommended_domain_count ())]. *)
+
+val default_domains : unit -> int
+(** Worker count from [NYX_DOMAINS] (clamped to [max_domains]; unset or
+    invalid falls back to {!recommended}; [1] means sequential). *)
+
+(** {1 Explicit pools} *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [domains] workers (default {!default_domains}). *)
+
+val size : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job. Jobs must capture their own exceptions.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every submitted task has finished. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join every worker. Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown]. *)
+
+(** {1 Ordered maps} *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel map with results in input order.
+    @raise Task_error for the lowest failing index, matching what the
+    sequential run would have raised first. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,14 @@
+(** Real wall-clock time.
+
+    Everything else in the reproduction runs on the virtual clock; wall
+    time exists only to measure the speedup the domain pool buys, never
+    to drive fuzzing decisions — keeping campaign results independent of
+    machine load and domain count (the pool's determinism contract,
+    {!Pool}). *)
+
+val now_s : unit -> float
+(** [Unix.gettimeofday]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f] and returns its result with the elapsed wall
+    seconds. *)

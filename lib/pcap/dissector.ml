@@ -48,6 +48,12 @@ let split t records =
   | Crlf -> split_crlf (concat records)
   | Length_prefixed n -> split_length_prefixed n (concat records)
 
+let name = function
+  | Raw -> "raw"
+  | Crlf -> "crlf"
+  | Datagram -> "dgram"
+  | Length_prefixed n -> Printf.sprintf "len%d" n
+
 let of_string = function
   | "raw" -> Ok Raw
   | "crlf" -> Ok Crlf

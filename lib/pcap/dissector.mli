@@ -15,6 +15,10 @@ val split : t -> bytes list -> bytes list
     [Raw]/[Datagram], records pass through unchanged). Trailing bytes that
     do not form a complete packet become a final packet of their own. *)
 
+val name : t -> string
+(** CLI/report name of the dissector; inverse of {!of_string} for the
+    spellings it accepts. *)
+
 val of_string : string -> (t, string) result
 (** Parse a dissector name from the CLI: ["raw"], ["crlf"], ["dgram"],
     ["len2"], ["len4"]. *)

@@ -5,7 +5,18 @@
     environment indexed by the program's value numbering, so execution can
     be split at the snapshot opcode: run the prefix, let the engine take an
     incremental snapshot, and later re-run only the suffix against the
-    captured environment. *)
+    captured environment.
+
+    {2 Sanitizer mode}
+
+    With [NYX_SANITIZE=1] in the environment (or [~sanitize:true]), the
+    interpreter asserts at runtime the facts the static verifier
+    ({!Nyx_analysis.Verifier}) proves offline: argument arity, value
+    indices in bounds, and affine discipline (no use after consume). A
+    failure raises {!Violation} — it means a bug in the mutator or engine,
+    not a bad fuzz input. Off (the default) the only cost is one branch
+    per op, and campaign results are bit-identical to builds without the
+    sanitizer. The flag is read once at module load, never per exec. *)
 
 type handlers = {
   exec : Spec.node_ty -> int list -> bytes array -> int list;
@@ -16,20 +27,35 @@ type handlers = {
 }
 
 type env
-(** Value environment: handler values produced so far. *)
+(** Value environment: handler values produced so far. When the sanitizer
+    is armed it also carries the consumed-flags, so the affine state
+    survives the prefix/suffix split across {!copy_env}. *)
 
-val initial_env : Program.t -> env
+exception Violation of { op : int; code : string; detail : string }
+(** Sanitizer assertion failure at op index [op]. Codes mirror the static
+    verifier's: ["bad-arity"], ["dangling-arg"],
+    ["affine-use-after-consume"], ["snapshot-carries-payload"]. *)
+
+val sanitize_default : bool
+(** Whether [NYX_SANITIZE] armed the sanitizer for this process. *)
+
+val initial_env : ?sanitize:bool -> Program.t -> env
+(** Fresh environment; [sanitize] defaults to {!sanitize_default}. *)
+
 val copy_env : env -> env
 
 val snapshot_op_index : Program.t -> int option
 (** Index in [ops] of the snapshot opcode. *)
 
-val run : ?from:int -> ?env:env -> Program.t -> handlers -> env
+val run : ?sanitize:bool -> ?from:int -> ?env:env -> Program.t -> handlers -> env
 (** Execute ops starting at index [from] (default 0) in the given
     environment (default fresh). Returns the final environment. Exceptions
-    from handlers (crashes, protocol errors) propagate. *)
+    from handlers (crashes, protocol errors) propagate. [sanitize] only
+    applies when no [env] is passed — an explicit environment keeps the
+    mode it was created with. *)
 
-val run_until_snapshot : Program.t -> handlers -> (int * env) option
+val run_until_snapshot :
+  ?sanitize:bool -> Program.t -> handlers -> (int * env) option
 (** Execute the prefix up to and including the snapshot opcode; returns
     the index of the first suffix op and the environment at the snapshot
     point, or [None] when the program has no snapshot opcode (in which

@@ -267,6 +267,27 @@ let prop_repair_always_validates =
       let p = { Program.spec = ns.Net_spec.spec; ops = Array.of_list ops } in
       Result.is_ok (Program.validate (Program.repair ~rng p)))
 
+(* Stronger than validate: the static verifier re-derives every structural
+   fact with its own lattice walk, so repair output must also carry zero
+   error-severity findings (warnings like dead-value are fine — repair
+   does not promise liveness). *)
+let prop_repair_verifier_clean =
+  QCheck.Test.make ~name:"repair output has zero verifier errors" ~count:300
+    QCheck.(pair small_int (list_of_size Gen.(int_range 0 12) (pair (int_bound 3) (int_bound 5))))
+    (fun (seed, raw_ops) ->
+      let ns = net () in
+      let rng = Nyx_sim.Rng.create seed in
+      let ops =
+        List.map
+          (fun (node, arg) ->
+            { Program.node; args = [| arg |]; data = [| Bytes.of_string "d" |] })
+          raw_ops
+      in
+      let p = { Program.spec = ns.Net_spec.spec; ops = Array.of_list ops } in
+      let repaired = Program.repair ~rng p in
+      Result.is_ok (Program.validate repaired)
+      && Nyx_analysis.Verifier.errors repaired = [])
+
 let test_mutator_changes_programs () =
   let ns = net () in
   let rng = Nyx_sim.Rng.create 11 in
@@ -325,5 +346,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_mutator_output_valid;
           QCheck_alcotest.to_alcotest prop_mutator_respects_frozen_prefix;
           QCheck_alcotest.to_alcotest prop_repair_always_validates;
+          QCheck_alcotest.to_alcotest prop_repair_verifier_clean;
         ] );
     ]

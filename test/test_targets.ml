@@ -698,6 +698,58 @@ let test_ftp_line_too_long () =
   check_int "oversized line rejected" 500
     (code (first_reply (send h flow (String.make 600 'A' ^ "\r\n"))))
 
+(* Static analysis over everything the registry ships: the spec linter
+   on both spec declarations and the program verifier on every target's
+   seed programs. Findings must be empty or explicitly allowlisted with
+   a reason — an addition to the registry that introduces a lint finding
+   fails here until its author either fixes it or writes the reason
+   down. *)
+
+(* (code, site, subject-substring, reason) tuples. Currently empty: every
+   shipped spec and seed is clean. *)
+let lint_allowlist : (string * string * string * string) list = []
+
+let allowlisted subject (d : Nyx_analysis.Diag.t) =
+  List.exists
+    (fun (code, site, subj, _reason) ->
+      code = d.Nyx_analysis.Diag.code
+      && site = d.Nyx_analysis.Diag.site
+      && (subj = "" || subj = subject))
+    lint_allowlist
+
+let test_registry_specs_and_seeds_lint_clean () =
+  let ns = Nyx_spec.Net_spec.create () in
+  let ipc = Ipc_spec.create () in
+  let entries =
+    Nyx_analysis.Audit.spec ~subject:"spec raw-network" ns.Nyx_spec.Net_spec.spec
+    :: Nyx_analysis.Audit.spec ~subject:"spec firefox-ipc-typed" ipc.Ipc_spec.spec
+    :: Nyx_analysis.Audit.program ~subject:"firefox-ipc-typed/seed" (Ipc_spec.seed ipc)
+    :: List.concat_map
+         (fun entry ->
+           let name = entry.Registry.target.Target.info.Target.name in
+           List.mapi
+             (fun i p ->
+               Nyx_analysis.Audit.program ~subject:(Printf.sprintf "%s/seed[%d]" name i) p)
+             (Registry.seed_programs entry ns))
+         (Registry.all ())
+  in
+  let residue =
+    List.concat_map
+      (fun (e : Nyx_analysis.Audit.entry) ->
+        List.filter_map
+          (fun d ->
+            if allowlisted e.Nyx_analysis.Audit.subject d then None
+            else
+              Some
+                (Format.asprintf "%s: %a" e.Nyx_analysis.Audit.subject
+                   Nyx_analysis.Diag.pp d))
+          e.Nyx_analysis.Audit.diags)
+      entries
+  in
+  Alcotest.(check bool) "registry audits more than the two specs" true
+    (List.length entries > 2);
+  Alcotest.(check (list string)) "no unallowlisted findings" [] residue
+
 (* Robustness: random garbage must yield a valid status, never an
    unexpected exception. *)
 
@@ -833,6 +885,11 @@ let () =
           Alcotest.test_case "rnfr/rnto/rest" `Quick test_ftp_rnfr_rnto_and_rest;
           Alcotest.test_case "cwd depth" `Quick test_ftp_cwd_depth_limit;
           Alcotest.test_case "long line" `Quick test_ftp_line_too_long;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "specs and seeds lint clean" `Quick
+            test_registry_specs_and_seeds_lint_clean;
         ] );
       ( "robustness",
         [ QCheck_alcotest.to_alcotest prop_random_garbage_handled ] );
