@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint bench-smoke bench-hotpath bench clean
+.PHONY: all check build test lint profile ci-local bench-smoke bench-hotpath bench clean
 
 all: check
 
@@ -19,7 +19,9 @@ lint:
 	dune exec bin/domain_lint.exe -- lib bin bench
 	dune exec bin/nyx_net_fuzz.exe -- lint --all-targets
 
-# Tier-1 verify: what CI runs. Build + tests, the lint suite, the test
+# Tier-1 verify: exactly what .github/workflows/ci.yml runs (build-test
+# job = build + tests + sanitized tests + smoke benches + profile;
+# lint job = the lint suite). Build + tests, the lint suite, the test
 # suite again under the interpreter sanitizer (NYX_SANITIZE asserts the
 # verifier's facts at runtime; --force because dune does not track env
 # vars), and both smoke benches asserted crash-free under NYX_DOMAINS=4
@@ -31,6 +33,19 @@ check:
 	NYX_SANITIZE=1 dune runtest --force
 	NYX_DOMAINS=4 NYX_BENCH_SMOKE_BUDGET_S=1 NYX_BENCH_FLEET=2 dune exec bench/main.exe -- parallel_smoke
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
+
+# Per-phase snapshot-cost profiles (lib/obs): a short profiled campaign
+# per flagship target, table on stdout, JSON artifact next to the
+# BENCH_*.json files.
+profile:
+	dune build @all
+	dune exec bin/nyx_net_fuzz.exe -- profile echo -b 10 -s 7 -o PROFILE_echo.json
+	dune exec bin/nyx_net_fuzz.exe -- profile lightftp -b 10 -s 7 -o PROFILE_lightftp.json
+
+# Everything CI runs, locally, in CI's order.
+ci-local:
+	$(MAKE) check
+	$(MAKE) profile
 
 # Tiny-budget parallel smoke bench: measures the NYX_DOMAINS speedup on
 # small fleets, checks parallel==sequential, writes BENCH_parallel.json.

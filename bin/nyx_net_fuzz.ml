@@ -292,6 +292,85 @@ let replay_cmd =
   let doc = "Replay (and optionally minimize) a serialized reproducer." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run $ target_arg $ input_arg $ minimize_arg))
 
+(* profile command: run a short profiled campaign and render the per-phase
+   snapshot-cost breakdown (lib/obs Profile) *)
+
+let profile_cmd =
+  let json_arg =
+    let doc = "Emit the profile as JSON on stdout instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the profile JSON (with campaign metadata) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let profile_json (r : Nyx_core.Report.campaign_result) snap =
+    Printf.sprintf
+      "{\"target\":%S,\"fuzzer\":%S,\"seed\":%d,\"execs\":%d,\"edges\":%d,\"virtual_ns\":%d,\"wall_s\":%.6f,\"profile\":%s}"
+      r.Nyx_core.Report.target r.Nyx_core.Report.fuzzer r.Nyx_core.Report.run_seed
+      r.Nyx_core.Report.execs r.Nyx_core.Report.final_edges r.Nyx_core.Report.virtual_ns
+      r.Nyx_core.Report.wall_s
+      (Nyx_obs.Profile.to_json snap)
+  in
+  let run target policy budget max_execs seed json out =
+    let ( let* ) = Result.bind in
+    let result =
+      let* entry = lookup_target target in
+      let* policy =
+        Result.map_error (fun m -> `Msg m) (Nyx_core.Policy.of_name policy)
+      in
+      let cfg =
+        {
+          Nyx_core.Campaign.default_config with
+          Nyx_core.Campaign.policy;
+          budget_ns = int_of_float (budget *. 1e9);
+          max_execs;
+          seed;
+        }
+      in
+      Ok (Nyx_core.Campaign.run ~profile:true cfg entry)
+    in
+    match result with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok r -> (
+      match r.Nyx_core.Report.phase_profile with
+      | None -> `Error (false, "campaign returned no profile (internal error)")
+      | Some snap ->
+        if json then print_endline (profile_json r snap)
+        else begin
+          Format.printf "%s  %s  seed %d: %d execs, %d edges, vtime %a@."
+            r.Nyx_core.Report.target r.Nyx_core.Report.fuzzer r.Nyx_core.Report.run_seed
+            r.Nyx_core.Report.execs r.Nyx_core.Report.final_edges
+            Nyx_sim.Clock.pp_duration r.Nyx_core.Report.virtual_ns;
+          Format.printf "%a@." Nyx_obs.Profile.pp snap
+        end;
+        (match out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc (profile_json r snap);
+              output_char oc '\n');
+          if not json then Format.printf "wrote %s@." path);
+        `Ok ())
+  in
+  let doc =
+    "Run a profiled campaign and print the per-phase cost breakdown \
+     (reset / prefix-replay / suffix-exec / snapshot-create / cov-merge / \
+     trim), the paper's Table 3 applied to ourselves."
+  in
+  let budget =
+    Arg.(
+      value & opt float 10.0
+      & info [ "b"; "budget" ] ~docv:"SECONDS" ~doc:"Virtual-time budget in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      ret
+        (const run $ target_arg $ policy_arg $ budget $ max_execs_arg $ seed_arg
+       $ json_arg $ out_arg))
+
 (* lint command: static analysis over spec declarations, seed programs and
    optional captures (the Nyx_analysis passes) *)
 
@@ -388,6 +467,6 @@ let main =
   let doc = "Nyx-Net: network fuzzing with incremental snapshots (OCaml reproduction)" in
   Cmd.group
     (Cmd.info "nyx-net-fuzz" ~doc)
-    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd; lint_cmd ]
+    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd; lint_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -162,4 +162,5 @@ let run ?seeds cfg entry =
         solved_ns = !solved_ns;
         snapshot_stats = None;
         wall_s = Nyx_parallel.Wall.now_s () -. wall0;
+        phase_profile = None;
       }

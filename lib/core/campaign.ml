@@ -44,6 +44,18 @@ type state = {
 
 let now st = Nyx_sim.Clock.now_ns (Executor.clock st.exec)
 
+(* Campaign-level phase attribution (cov-merge, trim) goes to the same
+   accumulator the executor writes. One branch per site when off. *)
+let prof_span st phase f =
+  match Executor.profile st.exec with
+  | None -> f ()
+  | Some p -> Nyx_obs.Profile.span p phase (Executor.clock st.exec) f
+
+let prof_override st phase f =
+  match Executor.profile st.exec with
+  | None -> f ()
+  | Some p -> Nyx_obs.Profile.with_override p phase f
+
 let over_budget st =
   st.stop
   || now st >= st.cfg.budget_ns
@@ -96,10 +108,19 @@ let trim_program st program =
    crashes. [stored] is the program to keep if the run found novelty. *)
 let triage st (result : Report.exec_result) stored =
   st.execs <- st.execs + 1;
-  let novel = Coverage.Cumulative.merge st.cumulative (Executor.coverage st.exec) in
+  let novel =
+    prof_span st Nyx_obs.Profile.Cov_merge (fun () ->
+        Coverage.Cumulative.merge st.cumulative (Executor.coverage st.exec))
+  in
   if novel then begin
     let program = Nyx_spec.Program.strip_snapshots stored in
-    let program = if st.cfg.trim then trim_program st program else program in
+    let program =
+      if st.cfg.trim then
+        (* Everything trim runs internally (resets, probe executions) is
+           charged to the [Trim] phase. *)
+        prof_override st Nyx_obs.Profile.Trim (fun () -> trim_program st program)
+      else program
+    in
     ignore
       (Corpus.add st.corpus ~program ~exec_ns:result.Report.exec_ns
          ~discovered_ns:(now st) ~state_code:result.Report.state_code);
@@ -125,15 +146,26 @@ let triage st (result : Report.exec_result) stored =
     end);
   novel
 
-let run ?seeds ?custom cfg entry =
+let run ?seeds ?custom ?(profile = false) cfg entry =
   let wall0 = Nyx_parallel.Wall.now_s () in
   let spec = net_spec () in
   let rng = Nyx_sim.Rng.create cfg.seed in
   let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
+  let prof = if profile then Some (Nyx_obs.Profile.create ()) else None in
   let exec =
-    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ~net_spec:spec
-      entry.Registry.target
+    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?profile:prof
+      ~net_spec:spec entry.Registry.target
   in
+  let target_name = entry.Registry.target.Target.info.Target.name in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_begin
+      ~vns:(Nyx_sim.Clock.now_ns (Executor.clock exec))
+      "campaign"
+      [
+        ("target", Nyx_obs.Trace.Str target_name);
+        ("fuzzer", Nyx_obs.Trace.Str (Policy.name cfg.policy));
+        ("seed", Nyx_obs.Trace.Int cfg.seed);
+      ];
   let st =
     {
       cfg;
@@ -195,8 +227,13 @@ let run ?seeds ?custom cfg entry =
       while !i < Policy.reuse_count && not (over_budget st) do
         incr i;
         let mutated =
-          Nyx_spec.Mutator.mutate mut_rng ~max_ops ~dict ~corpus:corpus_progs
-            entry_sched.Corpus.program
+          Nyx_obs.Trace.with_span
+            ~vns_of:(fun () -> now st)
+            "mutation"
+            [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+            (fun () ->
+              Nyx_spec.Mutator.mutate mut_rng ~max_ops ~dict ~corpus:corpus_progs
+                entry_sched.Corpus.program)
         in
         let r = Executor.run_full exec mutated in
         ignore (triage st r mutated)
@@ -214,8 +251,14 @@ let run ?seeds ?custom cfg entry =
         while !i < Policy.reuse_count && not (over_budget st) do
           incr i;
           let mutated =
-            Nyx_spec.Mutator.mutate mut_rng ~max_ops:(max_ops + 1 (* snapshot op *)) ~dict
-              ~frozen ~corpus:corpus_progs with_snap
+            Nyx_obs.Trace.with_span
+              ~vns_of:(fun () -> now st)
+              "mutation"
+              [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+              (fun () ->
+                Nyx_spec.Mutator.mutate mut_rng
+                  ~max_ops:(max_ops + 1 (* snapshot op *))
+                  ~dict ~frozen ~corpus:corpus_progs with_snap)
           in
           let r = Executor.run_suffix exec session mutated in
           if triage st r mutated then news := true
@@ -225,12 +268,22 @@ let run ?seeds ?custom cfg entry =
   done;
   sample ~force:true st;
   let virtual_ns = now st in
+  let final_edges = Coverage.Cumulative.edge_count st.cumulative in
+  let wall_s = Nyx_parallel.Wall.now_s () -. wall0 in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_end ~vns:virtual_ns "campaign"
+      [
+        ("execs", Nyx_obs.Trace.Int st.execs);
+        ("edges", Nyx_obs.Trace.Int final_edges);
+        ("corpus", Nyx_obs.Trace.Int (Corpus.size st.corpus));
+        ("crash_kinds", Nyx_obs.Trace.Int (List.length st.crashes));
+      ];
   {
     Report.fuzzer = Policy.name cfg.policy;
-    target = entry.Registry.target.Target.info.Target.name;
+    target = target_name;
     run_seed = cfg.seed;
     timeline = st.timeline;
-    final_edges = Coverage.Cumulative.edge_count st.cumulative;
+    final_edges;
     execs = st.execs;
     virtual_ns;
     execs_per_sec =
@@ -240,7 +293,12 @@ let run ?seeds ?custom cfg entry =
     corpus_size = Corpus.size st.corpus;
     solved_ns = st.solved_ns;
     snapshot_stats = Some (Executor.snapshot_stats exec);
-    wall_s = Nyx_parallel.Wall.now_s () -. wall0;
+    wall_s;
+    phase_profile =
+      Option.map
+        (fun p ->
+          Nyx_obs.Profile.snapshot p ~total_virtual_ns:virtual_ns ~total_wall_s:wall_s)
+        prof;
   }
 
 let median_result results =

@@ -29,12 +29,18 @@ val default_config : config
 val run :
   ?seeds:Nyx_spec.Program.t list ->
   ?custom:Op_handlers.custom_handler ->
+  ?profile:bool ->
   config ->
   Nyx_targets.Registry.entry ->
   Report.campaign_result
 (** [seeds] overrides the registry entry's canned seed programs (they must
     be built against a {!Nyx_spec.Net_spec.create} spec compatible with
-    the internal one: use [make_seeds]). *)
+    the internal one: use [make_seeds]).
+
+    [profile] (default false) attaches a {!Nyx_obs.Profile.t} to the
+    executor and fills the result's [phase_profile] with the per-phase
+    virtual-time breakdown. Profiling is observational: every other
+    result field is bit-identical with it on or off. *)
 
 val make_seeds :
   Nyx_targets.Registry.entry -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list

@@ -51,6 +51,14 @@ let add t ~program ~exec_ns ~discovered_ns ~state_code =
   t.count <- t.count + 1;
   Hashtbl.replace t.freq state_code
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.freq state_code));
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.instant ~vns:discovered_ns "corpus-add"
+      [
+        ("id", Nyx_obs.Trace.Int entry.id);
+        ("state", Nyx_obs.Trace.Int state_code);
+        ("packets", Nyx_obs.Trace.Int entry.packets);
+        ("exec_ns", Nyx_obs.Trace.Int exec_ns);
+      ];
   entry
 
 let nth_newest t i =

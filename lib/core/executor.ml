@@ -7,10 +7,18 @@ type t = {
   engine : Nyx_snapshot.Engine.t;
   ops : Op_handlers.t;
   target : Target.t;
+  profile : Nyx_obs.Profile.t option;
 }
 
+(* Phase attribution (observational only: reads the clock, never advances
+   it). One branch per site when profiling is off. *)
+let prof t phase f =
+  match t.profile with
+  | None -> f ()
+  | Some p -> Nyx_obs.Profile.span p phase t.clock f
+
 let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
-    ?(vm_config = Nyx_vm.Vm.fuzz_config) ?custom ~net_spec:_ target =
+    ?(vm_config = Nyx_vm.Vm.fuzz_config) ?custom ?profile ~net_spec:_ target =
   let clock = Nyx_sim.Clock.create () in
   let vm = Nyx_vm.Vm.create ~config:vm_config clock in
   let net = Net.create ~backend:Net.Emulated ~boundaries clock in
@@ -22,14 +30,21 @@ let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
   (* The agent detected the first read on the attack surface: take the
      root snapshot here, exactly where Nyx-Net places it automatically. *)
   let engine = Nyx_snapshot.Engine.create vm aux in
-  let ops =
-    Op_handlers.create ~net ~runtime ~target
-      ~on_snapshot:(fun () -> Nyx_snapshot.Engine.take_incremental engine)
-      ?custom ()
+  let take_snapshot =
+    match profile with
+    | None -> fun () -> Nyx_snapshot.Engine.take_incremental engine
+    | Some p ->
+      fun () ->
+        Nyx_obs.Profile.span p Nyx_obs.Profile.Snapshot_create clock (fun () ->
+            Nyx_snapshot.Engine.take_incremental engine)
   in
-  { clock; ctx; engine; ops; target }
+  let ops =
+    Op_handlers.create ~net ~runtime ~target ~on_snapshot:take_snapshot ?custom ()
+  in
+  { clock; ctx; engine; ops; target; profile }
 
 let clock t = t.clock
+let profile t = t.profile
 let coverage t = t.ctx.Ctx.cov
 let state_code t = t.ctx.Ctx.state_code
 let snapshot_stats t = Nyx_snapshot.Engine.stats t.engine
@@ -63,22 +78,34 @@ let status_of_run f =
       { kind = "protocol-desync"; detail = Printf.sprintf "blocking read on fd %d" fd }
   | Net.Bad_fd fd -> Report.Crash { kind = "bad-fd"; detail = Printf.sprintf "fd %d" fd }
 
+let status_str = function
+  | Report.Pass -> "pass"
+  | Report.Hang -> "hang"
+  | Report.Crash { kind; _ } -> kind
+
 let run_full t program =
   let t0 = Nyx_sim.Clock.now_ns t.clock in
-  Nyx_snapshot.Engine.restore_root t.engine;
-  reset_exec_state t;
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_begin ~vns:t0 "exec" [ ("mode", Nyx_obs.Trace.Str "full") ];
+  prof t Nyx_obs.Profile.Reset (fun () ->
+      Nyx_snapshot.Engine.restore_root t.engine;
+      reset_exec_state t);
   let status =
-    status_of_run (fun () ->
-        ignore (Nyx_spec.Interp.run program (Op_handlers.handlers t.ops)))
+    prof t Nyx_obs.Profile.Suffix_exec (fun () ->
+        status_of_run (fun () ->
+            ignore (Nyx_spec.Interp.run program (Op_handlers.handlers t.ops))))
   in
   (* If the program took an incremental snapshot mid-run, drop it. *)
   if Nyx_snapshot.Engine.has_incremental t.engine then
-    Nyx_snapshot.Engine.restore_root t.engine;
-  {
-    Report.status;
-    exec_ns = Nyx_sim.Clock.now_ns t.clock - t0;
-    state_code = t.ctx.Ctx.state_code;
-  }
+    prof t Nyx_obs.Profile.Reset (fun () -> Nyx_snapshot.Engine.restore_root t.engine);
+  let exec_ns = Nyx_sim.Clock.now_ns t.clock - t0 in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_end ~vns:(t0 + exec_ns) "exec"
+      [
+        ("status", Nyx_obs.Trace.Str (status_str status));
+        ("exec_ns", Nyx_obs.Trace.Int exec_ns);
+      ];
+  { Report.status; exec_ns; state_code = t.ctx.Ctx.state_code }
 
 type session = {
   s_from : int;
@@ -91,19 +118,37 @@ type session = {
 let start_session t program =
   match Nyx_spec.Interp.snapshot_op_index program with
   | None -> Error { Report.status = Report.Hang; exec_ns = 0; state_code = 0 }
-  | Some _ -> (
+  | Some snap_idx -> (
     let t0 = Nyx_sim.Clock.now_ns t.clock in
-    Nyx_snapshot.Engine.restore_root t.engine;
-    reset_exec_state t;
+    if Nyx_obs.Trace.on () then
+      Nyx_obs.Trace.span_begin ~vns:t0 "prefix"
+        [ ("snapshot_at", Nyx_obs.Trace.Int snap_idx) ];
+    prof t Nyx_obs.Profile.Reset (fun () ->
+        Nyx_snapshot.Engine.restore_root t.engine;
+        reset_exec_state t);
     let result = ref None in
     let status =
-      status_of_run (fun () ->
-          match Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops) with
-          | Some (from, env) -> result := Some (from, env)
-          | None -> ())
+      prof t Nyx_obs.Profile.Prefix_replay (fun () ->
+          status_of_run (fun () ->
+              match
+                Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops)
+              with
+              | Some (from, env) -> result := Some (from, env)
+              | None -> ()))
+    in
+    let trace_close ok =
+      if Nyx_obs.Trace.on () then
+        Nyx_obs.Trace.span_end
+          ~vns:(Nyx_sim.Clock.now_ns t.clock)
+          "prefix"
+          [
+            ("ok", Nyx_obs.Trace.Bool ok);
+            ("status", Nyx_obs.Trace.Str (status_str status));
+          ]
     in
     match (status, !result) with
     | Report.Pass, Some (from, env) ->
+      trace_close true;
       Ok
         {
           s_from = from;
@@ -114,7 +159,9 @@ let start_session t program =
         }
     | status, _ ->
       if Nyx_snapshot.Engine.has_incremental t.engine then
-        Nyx_snapshot.Engine.restore_root t.engine;
+        prof t Nyx_obs.Profile.Reset (fun () ->
+            Nyx_snapshot.Engine.restore_root t.engine);
+      trace_close false;
       Error
         {
           Report.status;
@@ -126,21 +173,29 @@ let suffix_start s = s.s_from
 
 let run_suffix t session program =
   let t0 = Nyx_sim.Clock.now_ns t.clock in
-  Nyx_snapshot.Engine.restore t.engine;
-  Coverage.restore t.ctx.Ctx.cov session.s_cov;
-  t.ctx.Ctx.state_code <- session.s_state_code;
-  Op_handlers.load_tokens t.ops session.s_tokens;
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_begin ~vns:t0 "exec" [ ("mode", Nyx_obs.Trace.Str "suffix") ];
+  prof t Nyx_obs.Profile.Reset (fun () ->
+      Nyx_snapshot.Engine.restore t.engine;
+      Coverage.restore t.ctx.Ctx.cov session.s_cov;
+      t.ctx.Ctx.state_code <- session.s_state_code;
+      Op_handlers.load_tokens t.ops session.s_tokens);
   let env = Nyx_spec.Interp.copy_env session.s_env in
   let status =
-    status_of_run (fun () ->
-        ignore
-          (Nyx_spec.Interp.run ~from:session.s_from ~env program
-             (Op_handlers.handlers t.ops)))
+    prof t Nyx_obs.Profile.Suffix_exec (fun () ->
+        status_of_run (fun () ->
+            ignore
+              (Nyx_spec.Interp.run ~from:session.s_from ~env program
+                 (Op_handlers.handlers t.ops))))
   in
-  {
-    Report.status;
-    exec_ns = Nyx_sim.Clock.now_ns t.clock - t0;
-    state_code = t.ctx.Ctx.state_code;
-  }
+  let exec_ns = Nyx_sim.Clock.now_ns t.clock - t0 in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_end ~vns:(t0 + exec_ns) "exec"
+      [
+        ("status", Nyx_obs.Trace.Str (status_str status));
+        ("exec_ns", Nyx_obs.Trace.Int exec_ns);
+      ];
+  { Report.status; exec_ns; state_code = t.ctx.Ctx.state_code }
 
-let end_session t _session = Nyx_snapshot.Engine.restore_root t.engine
+let end_session t _session =
+  prof t Nyx_obs.Profile.Reset (fun () -> Nyx_snapshot.Engine.restore_root t.engine)

@@ -21,13 +21,22 @@ val create :
   ?boundaries:bool ->
   ?vm_config:Nyx_vm.Vm.config ->
   ?custom:Op_handlers.custom_handler ->
+  ?profile:Nyx_obs.Profile.t ->
   net_spec:Nyx_spec.Net_spec.t ->
   Nyx_targets.Target.t ->
   t
 (** Boots the target (charging its startup cost), pumps it to its accept
-    loop, and takes the root snapshot. *)
+    loop, and takes the root snapshot. [profile], when given, receives a
+    per-phase virtual-time attribution of every execution this instance
+    runs (reset / prefix-replay / suffix-exec / snapshot-create);
+    accumulation is observational only and changes no result. *)
 
 val clock : t -> Nyx_sim.Clock.t
+
+val profile : t -> Nyx_obs.Profile.t option
+(** The profile passed to {!create}, if any — campaign layers attribute
+    their own phases (cov-merge, trim) to the same accumulator. *)
+
 val coverage : t -> Nyx_targets.Coverage.t
 (** The last execution's map. *)
 

@@ -14,6 +14,15 @@ type outcome = {
 
 let run ?(instances = 52) ?domains ~config entry =
   let t0 = Nyx_parallel.Wall.now_s () in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_begin "fleet"
+      [
+        ( "target",
+          Nyx_obs.Trace.Str
+            entry.Nyx_targets.Registry.target.Nyx_targets.Target.info
+              .Nyx_targets.Target.name );
+        ("instances", Nyx_obs.Trace.Int instances);
+      ];
   let configs =
     List.init instances (fun i ->
         { config with Campaign.seed = config.Campaign.seed + (1000 * i) })
@@ -22,13 +31,28 @@ let run ?(instances = 52) ?domains ~config entry =
     Nyx_parallel.Pool.map_list ?domains (fun cfg -> Campaign.run cfg entry) configs
   in
   let solve_times = List.filter_map (fun r -> r.Report.solved_ns) results in
-  {
-    instances;
-    first_solve_ns =
-      (match solve_times with
-      | [] -> None
-      | ts -> Some (List.fold_left min max_int ts));
-    solves = List.length solve_times;
-    total_execs = List.fold_left (fun acc r -> acc + r.Report.execs) 0 results;
-    wall_s = Nyx_parallel.Wall.now_s () -. t0;
-  }
+  let outcome =
+    {
+      instances;
+      first_solve_ns =
+        (match solve_times with
+        | [] -> None
+        | ts -> Some (List.fold_left min max_int ts));
+      solves = List.length solve_times;
+      total_execs = List.fold_left (fun acc r -> acc + r.Report.execs) 0 results;
+      wall_s = Nyx_parallel.Wall.now_s () -. t0;
+    }
+  in
+  if Nyx_obs.Trace.on () then begin
+    Nyx_obs.Trace.span_end "fleet"
+      [
+        ("solves", Nyx_obs.Trace.Int outcome.solves);
+        ("total_execs", Nyx_obs.Trace.Int outcome.total_execs);
+        ( "first_solve_ns",
+          Nyx_obs.Trace.Int (Option.value ~default:(-1) outcome.first_solve_ns) );
+      ];
+    (* Worker-domain buffers flushed at their campaign span ends; make the
+       fleet's own events durable too. *)
+    Nyx_obs.Trace.flush ()
+  end;
+  outcome

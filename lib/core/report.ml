@@ -26,6 +26,10 @@ type campaign_result = {
   wall_s : float;
       (* real wall-clock the campaign took; informational only — every
          other field is a deterministic function of the config. *)
+  phase_profile : Nyx_obs.Profile.snapshot option;
+      (* per-phase virtual-time cost breakdown; Some only when the
+         campaign ran with profiling requested. Virtual fields are
+         deterministic; wall fields informational. *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes

@@ -37,6 +37,11 @@ type campaign_result = {
       (** real wall-clock the campaign took. Informational only: every
           other field is a deterministic function of the config, so two
           same-seed campaigns agree on everything but this. *)
+  phase_profile : Nyx_obs.Profile.snapshot option;
+      (** per-phase cost breakdown (reset / prefix-replay / suffix-exec /
+          snapshot-create / cov-merge / trim / other) when the campaign
+          ran with profiling on; its virtual times sum to [virtual_ns].
+          [None] for baselines and unprofiled campaigns. *)
 }
 
 val crashed : campaign_result -> bool

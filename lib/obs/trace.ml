@@ -1,0 +1,196 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  name : string;
+  ph : [ `B | `E | `I ];
+  dom : int;
+  depth : int;
+  vns : int;
+  wall_ns : int;
+  fields : (string * value) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+
+type sink =
+  | File of out_channel
+  | Memory of event list ref
+      (* test sink: events appended (reversed) under [sink_mutex] *)
+
+(* Domain-safety: every flush/append to the shared sink holds
+   [sink_mutex]; per-domain buffers (below) are domain-local. *)
+let sink_mutex = Mutex.create ()
+
+(* The armed sink. Written once at load (from NYX_TRACE, before any
+   worker domain exists) and by [with_memory_sink] in single-writer
+   tests; hot-path readers do one load + branch. Domain-safe: see
+   [sink_mutex] for all mutation of the sink's contents. *)
+let sink : sink option ref =
+  ref
+    (match Sys.getenv_opt "NYX_TRACE" with
+    | None | Some "" -> None
+    | Some path -> (
+      match open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path with
+      | chan -> Some (File chan)
+      | exception Sys_error m ->
+        Printf.eprintf "NYX_TRACE: cannot open %s (%s); tracing disabled\n%!" path m;
+        None))
+
+let on () = !sink <> None
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffers.                                                 *)
+
+type dstate = {
+  buf : Buffer.t;  (* pending JSONL bytes, flushed under [sink_mutex] *)
+  mutable stack : string list;  (* open span names, innermost first *)
+}
+
+(* Domain-safety: domain-local storage — each domain gets its own buffer
+   and span stack from this key, so event sites never contend. *)
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf = Buffer.create 4096; stack = [] })
+
+let flush_threshold = 1 lsl 16
+
+let flush_dstate d =
+  if Buffer.length d.buf > 0 then begin
+    (match !sink with
+    | Some (File chan) ->
+      Mutex.lock sink_mutex;
+      Buffer.output_buffer chan d.buf;
+      Stdlib.flush chan;
+      Mutex.unlock sink_mutex
+    | Some (Memory _) | None -> ());
+    Buffer.clear d.buf
+  end
+
+let flush () = flush_dstate (Domain.DLS.get dls)
+
+let () = at_exit flush
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding.                                                      *)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+  | Str s -> add_json_string b s
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+
+let add_event_json b e =
+  Buffer.add_string b "{\"ev\":";
+  add_json_string b e.name;
+  Buffer.add_string b ",\"ph\":\"";
+  Buffer.add_char b (match e.ph with `B -> 'B' | `E -> 'E' | `I -> 'I');
+  Buffer.add_string b "\",\"dom\":";
+  Buffer.add_string b (string_of_int e.dom);
+  Buffer.add_string b ",\"depth\":";
+  Buffer.add_string b (string_of_int e.depth);
+  Buffer.add_string b ",\"vt\":";
+  Buffer.add_string b (string_of_int e.vns);
+  Buffer.add_string b ",\"wt\":";
+  Buffer.add_string b (string_of_int e.wall_ns);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      add_value b v)
+    e.fields;
+  Buffer.add_char b '}'
+
+let event_json e =
+  let b = Buffer.create 128 in
+  add_event_json b e;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Emission.                                                           *)
+
+let wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let emit d e =
+  match !sink with
+  | None -> ()
+  | Some (Memory events) ->
+    Mutex.lock sink_mutex;
+    events := e :: !events;
+    Mutex.unlock sink_mutex
+  | Some (File _) ->
+    add_event_json d.buf e;
+    Buffer.add_char d.buf '\n';
+    if Buffer.length d.buf >= flush_threshold || (e.ph = `E && e.depth = 0) then
+      flush_dstate d
+
+let mk d ph ~vns name fields =
+  {
+    name;
+    ph;
+    dom = (Domain.self () :> int);
+    depth = List.length d.stack;
+    vns;
+    wall_ns = wall_ns ();
+    fields;
+  }
+
+let instant ?(vns = 0) name fields =
+  if on () then begin
+    let d = Domain.DLS.get dls in
+    emit d (mk d `I ~vns name fields)
+  end
+
+let span_begin ?(vns = 0) name fields =
+  if on () then begin
+    let d = Domain.DLS.get dls in
+    emit d (mk d `B ~vns name fields);
+    d.stack <- name :: d.stack
+  end
+
+let span_end ?(vns = 0) name fields =
+  if on () then begin
+    let d = Domain.DLS.get dls in
+    (match d.stack with [] -> () | _ :: tl -> d.stack <- tl);
+    emit d (mk d `E ~vns name fields)
+  end
+
+let with_span ?vns_of name fields f =
+  if not (on ()) then f ()
+  else begin
+    let vns = match vns_of with Some g -> g () | None -> 0 in
+    span_begin ~vns name fields;
+    Fun.protect
+      ~finally:(fun () ->
+        let vns = match vns_of with Some g -> g () | None -> 0 in
+        span_end ~vns name [])
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Test sink.                                                          *)
+
+let with_memory_sink f =
+  let events = ref [] in
+  let saved = !sink in
+  (* Flush any pending file-sink bytes so they are not re-attributed. *)
+  flush ();
+  sink := Some (Memory events);
+  let restore () = sink := saved in
+  let r = Fun.protect ~finally:restore f in
+  (r, List.rev !events)

@@ -61,8 +61,12 @@ let remirror t =
   t.creates_since_remirror <- 0;
   t.s_remirrors <- t.s_remirrors + 1
 
+(* Virtual time of this engine's VM — the [vns] stamp on trace events. *)
+let vnow t = Nyx_sim.Clock.now_ns t.vm.clock
+
 let take_incremental t =
   if t.active then invalid_arg "Engine.take_incremental: already active";
+  let trace_v0 = vnow t in
   if t.creates_since_remirror >= t.remirror_interval then remirror t;
   let dirty = Memory.dirty t.vm.mem in
   (* Overwrite stale mirror entries (left by a previous incremental
@@ -80,8 +84,10 @@ let take_incremental t =
     stale;
   (* Copy the pages dirtied since the root snapshot: this is the actual
      content of the incremental snapshot. *)
+  let copied = ref (List.length stale) in
   Dirty_log.iter_stack dirty t.vm.clock (fun pfn ->
       charge_page t;
+      incr copied;
       match Memory.page_content t.vm.mem pfn with
       | Some content -> Hashtbl.replace t.mirror pfn content
       | None -> Hashtbl.replace t.mirror pfn (Page.zero ()));
@@ -92,7 +98,14 @@ let take_incremental t =
   Dirty_log.clear dirty;
   t.active <- true;
   t.creates_since_remirror <- t.creates_since_remirror + 1;
-  t.s_inc_creates <- t.s_inc_creates + 1
+  t.s_inc_creates <- t.s_inc_creates + 1;
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-create"
+      [
+        ("pages", Nyx_obs.Trace.Int !copied);
+        ("mirror", Nyx_obs.Trace.Int (Hashtbl.length t.mirror));
+        ("cost_ns", Nyx_obs.Trace.Int (vnow t - trace_v0));
+      ]
 
 let restore_incremental t =
   let dirty = Memory.dirty t.vm.mem in
@@ -117,6 +130,7 @@ let restore_incremental t =
   t.s_inc_restores <- t.s_inc_restores + 1
 
 let restore_root t =
+  let trace_v0 = vnow t and trace_p0 = t.s_pages_restored in
   if t.active then begin
     (* First reset the suffix writes to the incremental image, then revert
        every mirror entry to root content. Together this puts guest memory
@@ -138,9 +152,28 @@ let restore_root t =
   end;
   let restored = Root.restore t.vm t.aux t.root in
   t.s_pages_restored <- t.s_pages_restored + restored;
-  t.s_root_restores <- t.s_root_restores + 1
+  t.s_root_restores <- t.s_root_restores + 1;
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-restore"
+      [
+        ("mode", Nyx_obs.Trace.Str "root");
+        ("pages", Nyx_obs.Trace.Int (t.s_pages_restored - trace_p0));
+        ("cost_ns", Nyx_obs.Trace.Int (vnow t - trace_v0));
+      ]
 
-let restore t = if t.active then restore_incremental t else restore_root t
+let restore t =
+  if t.active then begin
+    let trace_v0 = vnow t and trace_p0 = t.s_pages_restored in
+    restore_incremental t;
+    if Nyx_obs.Trace.on () then
+      Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-restore"
+        [
+          ("mode", Nyx_obs.Trace.Str "incremental");
+          ("pages", Nyx_obs.Trace.Int (t.s_pages_restored - trace_p0));
+          ("cost_ns", Nyx_obs.Trace.Int (vnow t - trace_v0));
+        ]
+  end
+  else restore_root t
 
 let stats t =
   {

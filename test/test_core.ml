@@ -326,6 +326,7 @@ let test_median_result () =
       solved_ns = None;
       snapshot_stats = None;
       wall_s = 0.0;
+      phase_profile = None;
     }
   in
   check_int "median of three" 20
@@ -356,6 +357,7 @@ let test_report_helpers () =
       solved_ns = None;
       snapshot_stats = None;
       wall_s = 0.0;
+      phase_profile = None;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);

@@ -1,0 +1,229 @@
+(* Observability suite (lib/obs): the determinism contract.
+
+   - With tracing off and profiling off, fixed-seed campaigns reproduce
+     the pre-instrumentation goldens (captured at commit 2d045ab, before
+     lib/obs existed) — the event sites cost nothing and change nothing.
+   - Turning profiling on changes no result field either: accumulation
+     is observational.
+   - Same-seed runs emit identical trace streams once the wall-clock
+     stamps (the one non-deterministic field) are masked.
+   - A profile's per-phase virtual times sum to exactly the campaign's
+     virtual_ns (self-time accounting + the Other remainder).
+   - Trace streams are well-nested: a qcheck property drives random span
+     trees through the emitter and replays the stream against a stack. *)
+
+open Nyx_core
+module Trace = Nyx_obs.Trace
+module Profile = Nyx_obs.Profile
+
+let check_int = Alcotest.(check int)
+
+let echo_entry () = Option.get (Nyx_targets.Registry.find "echo")
+
+let identity_cfg ?(trim = false) ?(policy = Policy.Balanced) ?(budget_ns = 8_000_000_000) () =
+  {
+    Campaign.default_config with
+    Campaign.budget_ns;
+    max_execs = 25_000;
+    policy;
+    trim;
+    seed = 7;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Trace-off identity: the golden below is the same fixed-seed campaign
+   test_hotpath pins, recorded before any lib/obs instrumentation
+   existed. It must keep passing with the event sites compiled in. *)
+
+let check_result_fields name (a : Report.campaign_result) (b : Report.campaign_result) =
+  check_int (name ^ ": final_edges") a.Report.final_edges b.Report.final_edges;
+  check_int (name ^ ": execs") a.Report.execs b.Report.execs;
+  check_int (name ^ ": virtual_ns") a.Report.virtual_ns b.Report.virtual_ns;
+  check_int (name ^ ": corpus_size") a.Report.corpus_size b.Report.corpus_size;
+  Alcotest.(check (list (triple string int int)))
+    (name ^ ": crashes")
+    (List.map (fun c -> (c.Report.kind, c.Report.found_ns, c.Report.found_exec)) a.Report.crashes)
+    (List.map (fun c -> (c.Report.kind, c.Report.found_ns, c.Report.found_exec)) b.Report.crashes);
+  check_int
+    (name ^ ": timeline samples")
+    (List.length (Nyx_sim.Stats.Timeline.samples a.Report.timeline))
+    (List.length (Nyx_sim.Stats.Timeline.samples b.Report.timeline))
+
+let test_trace_off_identity () =
+  Alcotest.(check bool) "NYX_TRACE is unset in tests" false (Trace.on ());
+  let r = Campaign.run (identity_cfg ()) (echo_entry ()) in
+  (* Pre-instrumentation golden: balanced/echo, seed 7, 8 virtual s. *)
+  check_int "golden: final_edges" 27 r.Report.final_edges;
+  check_int "golden: execs" 23151 r.Report.execs;
+  check_int "golden: virtual_ns" 8_000_443_636 r.Report.virtual_ns;
+  check_int "golden: corpus_size" 68 r.Report.corpus_size;
+  Alcotest.(check (list (triple string int int)))
+    "golden: crashes"
+    [ ("assertion", 20_932_397, 149) ]
+    (List.map (fun c -> (c.Report.kind, c.Report.found_ns, c.Report.found_exec)) r.Report.crashes);
+  check_int "golden: timeline samples" 88
+    (List.length (Nyx_sim.Stats.Timeline.samples r.Report.timeline));
+  Alcotest.(check bool) "no profile unless asked" true (r.Report.phase_profile = None)
+
+let test_profile_changes_nothing () =
+  let plain = Campaign.run (identity_cfg ()) (echo_entry ()) in
+  let profiled = Campaign.run ~profile:true (identity_cfg ()) (echo_entry ()) in
+  check_result_fields "profiled == plain" plain profiled
+
+(* ------------------------------------------------------------------ *)
+(* Same-seed trace-stream identity, wall stamps masked.                 *)
+
+let mask (e : Trace.event) = { e with Trace.wall_ns = 0 }
+
+let test_trace_stream_deterministic () =
+  let cfg = identity_cfg ~budget_ns:2_000_000_000 () in
+  let run () = Trace.with_memory_sink (fun () -> Campaign.run cfg (echo_entry ())) in
+  let r1, ev1 = run () in
+  let r2, ev2 = run () in
+  check_result_fields "same-seed results" r1 r2;
+  let ev1 = List.map mask ev1 and ev2 = List.map mask ev2 in
+  check_int "same event count" (List.length ev1) (List.length ev2);
+  Alcotest.(check bool) "streams identical modulo wall time" true (ev1 = ev2);
+  (* The stream is non-trivial and records the campaign's shape. *)
+  let count name ph =
+    List.length (List.filter (fun e -> e.Trace.name = name && e.Trace.ph = ph) ev1)
+  in
+  check_int "one campaign begin" 1 (count "campaign" `B);
+  check_int "one campaign end" 1 (count "campaign" `E);
+  check_int "corpus adds == corpus size" r1.Report.corpus_size (count "corpus-add" `I);
+  Alcotest.(check bool) "execs traced" true (count "exec" `B > 0);
+  Alcotest.(check bool) "snapshot restores traced" true (count "snapshot-restore" `I > 0);
+  (* vns stamps are monotone within a domain: the virtual clock only
+     advances. *)
+  let rec monotone last = function
+    | [] -> true
+    | e :: tl -> e.Trace.vns >= last && monotone e.Trace.vns tl
+  in
+  Alcotest.(check bool) "vns monotone" true (monotone 0 ev1)
+
+(* ------------------------------------------------------------------ *)
+(* Profile: the sum identity, and trim attribution.                     *)
+
+let test_profile_sums_to_virtual_ns () =
+  let r = Campaign.run ~profile:true (identity_cfg ()) (echo_entry ()) in
+  match r.Report.phase_profile with
+  | None -> Alcotest.fail "profiled campaign must carry a profile"
+  | Some snap ->
+    check_int "total == campaign virtual_ns" r.Report.virtual_ns snap.Profile.total_virtual_ns;
+    check_int "phases sum to total" snap.Profile.total_virtual_ns (Profile.sum_virtual_ns snap);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool)
+          (Profile.phase_name e.Profile.phase ^ " self-time >= 0")
+          true (e.Profile.virtual_ns >= 0))
+      snap.Profile.entries;
+    let entry ph = List.find (fun e -> e.Profile.phase = ph) snap.Profile.entries in
+    Alcotest.(check bool) "resets happened" true ((entry Profile.Reset).Profile.count > 0);
+    Alcotest.(check bool) "suffix execs dominate" true
+      ((entry Profile.Suffix_exec).Profile.virtual_ns > snap.Profile.total_virtual_ns / 2)
+
+let test_profile_trim_attribution () =
+  let r =
+    Campaign.run ~profile:true
+      (identity_cfg ~policy:Policy.Aggressive ~trim:true ())
+      (echo_entry ())
+  in
+  match r.Report.phase_profile with
+  | None -> Alcotest.fail "profiled campaign must carry a profile"
+  | Some snap ->
+    check_int "sum identity under trim" snap.Profile.total_virtual_ns
+      (Profile.sum_virtual_ns snap);
+    let trim = List.find (fun e -> e.Profile.phase = Profile.Trim) snap.Profile.entries in
+    Alcotest.(check bool) "trim spans recorded" true (trim.Profile.count > 0);
+    Alcotest.(check bool) "trim charged virtual time" true (trim.Profile.virtual_ns > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Well-nesting property: random span trees in, stack-replay out.       *)
+
+type tree = Node of int * tree list
+
+let tree_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then map (fun i -> Node (i, [])) (int_bound 5)
+           else
+             map2
+               (fun i kids -> Node (i, kids))
+               (int_bound 5)
+               (list_size (int_bound 4) (self (n / 2)))))
+
+let forest_gen = QCheck.Gen.(list_size (int_bound 5) tree_gen)
+
+let span_name i = Printf.sprintf "span%d" i
+
+let rec emit_tree (Node (i, kids)) =
+  Trace.with_span (span_name i) [ ("k", Trace.Int i) ] (fun () ->
+      Trace.instant (span_name i) [];
+      List.iter emit_tree kids)
+
+let well_nested events =
+  let stack = ref [] in
+  List.for_all
+    (fun (e : Trace.event) ->
+      match e.Trace.ph with
+      | `B ->
+        let ok = e.Trace.depth = List.length !stack in
+        stack := e.Trace.name :: !stack;
+        ok
+      | `E -> (
+        match !stack with
+        | [] -> false
+        | top :: tl ->
+          stack := tl;
+          top = e.Trace.name && e.Trace.depth = List.length !stack)
+      | `I -> e.Trace.depth = List.length !stack)
+    events
+  && !stack = []
+
+let prop_spans_well_nested =
+  QCheck.Test.make ~name:"trace streams are well-nested span forests" ~count:100
+    (QCheck.make forest_gen) (fun forest ->
+      let (), events = Trace.with_memory_sink (fun () -> List.iter emit_tree forest) in
+      well_nested events)
+
+let test_memory_sink_restores () =
+  let (), events =
+    Trace.with_memory_sink (fun () ->
+        Trace.instant "ping" [ ("x", Trace.Int 1); ("s", Trace.Str "a\"b") ])
+  in
+  check_int "one event" 1 (List.length events);
+  Alcotest.(check bool) "sink restored after with_memory_sink" false (Trace.on ());
+  let e = List.hd events in
+  Alcotest.(check string)
+    "json encoding"
+    (Printf.sprintf
+       "{\"ev\":\"ping\",\"ph\":\"I\",\"dom\":%d,\"depth\":0,\"vt\":0,\"wt\":%d,\"x\":1,\"s\":\"a\\\"b\"}"
+       e.Trace.dom e.Trace.wall_ns)
+    (Trace.event_json e)
+
+let () =
+  Alcotest.run "nyx_obs"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "trace off: golden identity" `Quick test_trace_off_identity;
+          Alcotest.test_case "profile on: results unchanged" `Quick
+            test_profile_changes_nothing;
+          Alcotest.test_case "same seed: identical trace stream" `Quick
+            test_trace_stream_deterministic;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "phases sum to virtual_ns" `Quick
+            test_profile_sums_to_virtual_ns;
+          Alcotest.test_case "trim override attribution" `Quick
+            test_profile_trim_attribution;
+        ] );
+      ( "trace",
+        [
+          QCheck_alcotest.to_alcotest prop_spans_well_nested;
+          Alcotest.test_case "memory sink + json encoding" `Quick
+            test_memory_sink_restores;
+        ] );
+    ]
