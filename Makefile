@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint profile ci-local bench-smoke bench-hotpath bench clean
+.PHONY: all check build test lint faultcheck profile ci-local bench-smoke bench-hotpath bench clean
 
 all: check
 
@@ -33,6 +33,16 @@ check:
 	NYX_SANITIZE=1 dune runtest --force
 	NYX_DOMAINS=4 NYX_BENCH_SMOKE_BUDGET_S=1 NYX_BENCH_FLEET=2 dune exec bench/main.exe -- parallel_smoke
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
+	$(MAKE) faultcheck
+
+# Fault-injection smoke campaign (lib/resilience): runs a full campaign
+# with every fault site armed at 2%, asserts zero aborted faults (every
+# injection recovered via the recreate-on-demand path), bit-identical
+# same-seed results, and the fleet supervisor's restart/quarantine
+# behaviour; writes FAULTCHECK.json.
+faultcheck:
+	dune build @all
+	dune exec bench/main.exe -- faultcheck
 
 # Per-phase snapshot-cost profiles (lib/obs): a short profiled campaign
 # per flagship target, table on stdout, JSON artifact next to the

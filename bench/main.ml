@@ -1186,6 +1186,89 @@ let bechamel_suite () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection smoke campaign (make faultcheck / CI): every fault
+   site armed at a rate high enough to fire hundreds of times, asserting
+   the campaign recovers from all of them and stays deterministic.       *)
+
+let faultcheck () =
+  Printf.printf "\n== Fault-injection smoke campaign ==\n\n";
+  let entry = Option.get (Nyx_targets.Registry.find "echo") in
+  let cfg =
+    {
+      Campaign.default_config with
+      Campaign.policy = Policy.Aggressive;
+      budget_ns = 8_000_000_000;
+      max_execs = 25_000;
+      seed = 7;
+    }
+  in
+  let faults =
+    match Nyx_resilience.Plan.parse_spec "all:0.02" with
+    | Ok sp -> sp
+    | Error m -> failwith ("faultcheck: " ^ m)
+  in
+  let r1 = Campaign.run ~faults cfg entry in
+  let r2 = Campaign.run ~faults cfg entry in
+  let res =
+    match r1.Report.resilience with
+    | Some r -> r
+    | None -> failwith "faultcheck: faulted campaign returned no resilience block"
+  in
+  Printf.printf
+    "  injected=%d recovered=%d aborted=%d | edges=%d execs=%d corpus=%d\n%!"
+    res.Report.faults_injected res.Report.faults_recovered
+    res.Report.faults_aborted r1.Report.final_edges r1.Report.execs
+    r1.Report.corpus_size;
+  (* Supervisor smoke: one instance that always dies must be quarantined
+     without taking down the fleet or losing the healthy instances. *)
+  let fleet =
+    Fleet.run ~instances:3 ~domains:1 ~max_restarts:2
+      ~run_instance:(fun c ->
+        if c.Campaign.seed = cfg.Campaign.seed + 1000 then
+          failwith "faultcheck: injected instance failure"
+        else Campaign.run ~faults c entry)
+      ~config:cfg entry
+  in
+  Printf.printf "  fleet: %d survivors, %d restarts, %d quarantined\n%!"
+    (List.length fleet.Fleet.results) fleet.Fleet.restarts
+    fleet.Fleet.quarantined;
+  if res.Report.faults_recovered = 0 then
+    failwith "faultcheck: no faults recovered (rate too low?)";
+  if res.Report.faults_aborted <> 0 then
+    failwith "faultcheck: some injected faults were not recovered";
+  if res.Report.faults_recovered <> res.Report.faults_injected then
+    failwith "faultcheck: injected/recovered mismatch";
+  if not (Report.same_deterministic r1 r2) then
+    failwith "faultcheck: same-seed faulted campaigns diverged";
+  if fleet.Fleet.quarantined <> 1 || List.length fleet.Fleet.results <> 2 then
+    failwith "faultcheck: supervisor did not quarantine exactly the bad instance";
+  if fleet.Fleet.restarts <> 2 then
+    failwith "faultcheck: supervisor retry budget not honoured";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"target\": %S,\n\
+      \  \"spec\": \"all:0.02\",\n\
+      \  \"injected\": %d,\n\
+      \  \"recovered\": %d,\n\
+      \  \"aborted\": %d,\n\
+      \  \"deterministic\": true,\n\
+      \  \"edges\": %d,\n\
+      \  \"execs\": %d,\n\
+      \  \"fleet_restarts\": %d,\n\
+      \  \"fleet_quarantined\": %d\n\
+       }"
+      r1.Report.target res.Report.faults_injected res.Report.faults_recovered
+      res.Report.faults_aborted r1.Report.final_edges r1.Report.execs
+      fleet.Fleet.restarts fleet.Fleet.quarantined
+  in
+  let path = "FAULTCHECK.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n  faultcheck OK\n%!" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1207,6 +1290,7 @@ let experiments =
     ("bechamel", bechamel_suite);
     ("parallel_smoke", parallel_smoke);
     ("hotpath", hotpath);
+    ("faultcheck", faultcheck);
   ]
 
 (* Experiments whose cells come from the shared fuzzer x target matrix. *)

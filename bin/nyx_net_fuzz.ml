@@ -67,6 +67,9 @@ let print_result r =
       s.Nyx_snapshot.Engine.root_restores s.Nyx_snapshot.Engine.incremental_creates
       s.Nyx_snapshot.Engine.incremental_restores s.Nyx_snapshot.Engine.remirrors
   | None -> ());
+  (match r.Nyx_core.Report.resilience with
+  | Some res -> Format.printf "%a@." Nyx_core.Report.pp_resilience res
+  | None -> ());
   match r.Nyx_core.Report.solved_ns with
   | Some t -> Format.printf "  level solved at vtime %a@." Nyx_sim.Clock.pp_duration t
   | None -> ()
@@ -107,12 +110,46 @@ let save_crashes dir (r : Nyx_core.Report.campaign_result) =
         Format.printf "  saved reproducer: %s@." path)
       r.Nyx_core.Report.crashes
 
+let faults_arg =
+  let doc =
+    "Deterministic fault-injection spec, e.g. $(b,all:0.01) or \
+     $(b,restore-fail:0.05,wedge:0.001) (overrides NYX_FAULTS)."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let checkpoint_arg =
+  let doc = "Write a crash-safe campaign checkpoint to $(docv) periodically." in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_interval_arg =
+  let doc = "Virtual seconds between checkpoint writes." in
+  Arg.(
+    value & opt float 5.0 & info [ "checkpoint-interval" ] ~docv:"SECONDS" ~doc)
+
+let parse_faults = function
+  | None -> Ok None
+  | Some spec ->
+    Result.map_error
+      (fun m -> `Msg ("bad --faults spec: " ^ m))
+      (Result.map Option.some (Nyx_resilience.Plan.parse_spec spec))
+
+let make_checkpointing path interval =
+  match path with
+  | None -> None
+  | Some path ->
+    Some
+      (Nyx_core.Campaign.checkpointing ~path
+         ~interval_ns:(int_of_float (interval *. 1e9))
+         ())
+
 let fuzz_cmd =
-  let run target fuzzer policy budget max_execs seed asan seeds_file crash_dir =
+  let run target fuzzer policy budget max_execs seed asan seeds_file crash_dir
+      faults ck_path ck_interval =
     let ( let* ) = Result.bind in
     let result =
       let* entry = lookup_target target in
       let* seeds = load_seeds entry seeds_file in
+      let* faults = parse_faults faults in
       let budget_ns = int_of_float (budget *. 1e9) in
       if fuzzer = "nyx" then begin
         let* policy =
@@ -128,7 +165,14 @@ let fuzz_cmd =
             asan;
           }
         in
-        Ok (Some (Nyx_core.Campaign.run ?seeds cfg entry))
+        match
+          Nyx_core.Campaign.run ?seeds ?faults
+            ?checkpoint:(make_checkpointing ck_path ck_interval) cfg entry
+        with
+        | r -> Ok (Some r)
+        | exception Invalid_argument m ->
+          (* e.g. a malformed NYX_FAULTS spec from the environment *)
+          Error (`Msg m)
       end
       else begin
         let* spec =
@@ -158,7 +202,52 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ target_arg $ fuzzer_arg $ policy_arg $ budget_arg $ max_execs_arg
-       $ seed_arg $ asan_arg $ seeds_arg $ crash_dir_arg))
+       $ seed_arg $ asan_arg $ seeds_arg $ crash_dir_arg $ faults_arg
+       $ checkpoint_arg $ checkpoint_interval_arg))
+
+(* resume command: continue a campaign from a crash-safe checkpoint *)
+
+let resume_cmd =
+  let ckpt_arg =
+    let doc = "Checkpoint file written by fuzz --checkpoint." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CHECKPOINT" ~doc)
+  in
+  let run target ckpt_path crash_dir ck_path ck_interval =
+    let ( let* ) = Result.bind in
+    let result =
+      let* entry = lookup_target target in
+      let* ckpt =
+        Result.map_error
+          (fun m -> `Msg ("cannot load checkpoint: " ^ m))
+          (Nyx_core.Checkpoint.load ckpt_path)
+      in
+      (* Keep checkpointing to the same file unless told otherwise, so a
+         resumed campaign is itself crash-safe. *)
+      let ck_path = match ck_path with Some p -> Some p | None -> Some ckpt_path in
+      match
+        Nyx_core.Campaign.resume
+          ?checkpoint:(make_checkpointing ck_path ck_interval) ckpt entry
+      with
+      | r -> Ok r
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    match result with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok r ->
+      print_result r;
+      save_crashes crash_dir r;
+      `Ok ()
+  in
+  let doc =
+    "Resume a campaign from a checkpoint; the final result is bit-identical \
+     to the uninterrupted run's."
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc)
+    Term.(
+      ret
+        (const run $ target_arg $ ckpt_arg $ crash_dir_arg $ checkpoint_arg
+       $ checkpoint_interval_arg))
 
 (* list command *)
 
@@ -467,6 +556,9 @@ let main =
   let doc = "Nyx-Net: network fuzzing with incremental snapshots (OCaml reproduction)" in
   Cmd.group
     (Cmd.info "nyx-net-fuzz" ~doc)
-    [ fuzz_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd; lint_cmd; profile_cmd ]
+    [
+      fuzz_cmd; resume_cmd; list_cmd; mario_cmd; record_cmd; replay_cmd;
+      lint_cmd; profile_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

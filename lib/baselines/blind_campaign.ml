@@ -163,4 +163,5 @@ let run ?seeds cfg entry =
         snapshot_stats = None;
         wall_s = Nyx_parallel.Wall.now_s () -. wall0;
         phase_profile = None;
+        resilience = None;
       }

@@ -27,6 +27,18 @@ let net_spec () = Nyx_spec.Net_spec.create ()
 
 let make_seeds entry spec = Registry.seed_programs entry spec
 
+(* Periodic crash-safe checkpointing (ISSUE: nyx_resilience). *)
+type checkpoint_cfg = {
+  ck_path : string;
+  ck_interval_ns : int;
+  ck_on_write : (int -> unit) option;
+}
+
+let checkpointing ?on_write ~path ~interval_ns () =
+  if interval_ns <= 0 then
+    invalid_arg "Campaign.checkpointing: interval_ns must be positive";
+  { ck_path = path; ck_interval_ns = interval_ns; ck_on_write = on_write }
+
 (* Campaign-internal mutable state threaded through triage. *)
 type state = {
   cfg : config;
@@ -34,7 +46,16 @@ type state = {
   corpus : Corpus.t;
   cumulative : Coverage.Cumulative.t;
   timeline : Nyx_sim.Stats.Timeline.t;
-  rng : Nyx_sim.Rng.t;
+  rng : Nyx_sim.Rng.t;  (* scheduling *)
+  policy : Policy.t;
+  mut_rng : Nyx_sim.Rng.t;
+  dict : bytes list;
+  max_ops : int;
+  plan : Nyx_resilience.Plan.t option;  (* armed fault plan, if any *)
+  prof : Nyx_obs.Profile.t option;
+  ck : checkpoint_cfg option;
+  mutable ck_last : int;
+  mutable ck_ordinal : int;
   mutable execs : int;
   mutable crashes : Report.crash_report list;
   mutable solved_ns : int option;
@@ -66,7 +87,25 @@ let sample ?(force = false) st =
   if force || t - st.last_sample >= st.cfg.sample_interval_ns then begin
     st.last_sample <- t;
     Nyx_sim.Stats.Timeline.record st.timeline t
-      (float_of_int (Coverage.Cumulative.edge_count st.cumulative))
+      (float_of_int (Coverage.Cumulative.edge_count st.cumulative));
+    (* Trace-sink fault site, fired where the campaign actually records
+       observability output. The plan draw happens whether or not tracing
+       is on — the fault sequence must not depend on NYX_TRACE — but the
+       sink failure only manifests when a sink exists, which then disables
+       itself (degradation; counted as recovered either way). *)
+    match st.plan with
+    | None -> ()
+    | Some plan -> (
+      match
+        Nyx_resilience.Plan.fire plan Nyx_resilience.Fault.Trace_sink ~vns:t
+      with
+      | None -> ()
+      | Some f ->
+        Nyx_resilience.Plan.record_recovered plan f;
+        if Nyx_obs.Trace.on () then begin
+          Nyx_obs.Trace.inject_flush_failure ();
+          Nyx_obs.Trace.flush ()
+        end)
   end
 
 (* AFL-style trim: binary-search the shortest op prefix whose execution
@@ -146,7 +185,213 @@ let triage st (result : Report.exec_result) stored =
     end);
   novel
 
-let run ?seeds ?custom ?(profile = false) cfg entry =
+(* ------------------------------------------------------------------ *)
+(* Checkpointing.                                                      *)
+
+(* Only valid between scheduling rounds (loop top): the snapshot engine
+   is back in root mode there, and all per-execution state is about to be
+   reset anyway, so the campaign reduces to the fields below. *)
+let capture st : Checkpoint.t =
+  let cfg = st.cfg in
+  {
+    Checkpoint.c_policy = Policy.name cfg.policy;
+    c_budget_ns = cfg.budget_ns;
+    c_max_execs = cfg.max_execs;
+    c_seed = cfg.seed;
+    c_asan = cfg.asan;
+    c_stop_on_solve = cfg.stop_on_solve;
+    c_trim = cfg.trim;
+    c_sample_interval_ns = cfg.sample_interval_ns;
+    c_target = Executor.target_name st.exec;
+    c_clock_ns = now st;
+    c_execs = st.execs;
+    c_last_sample = st.last_sample;
+    c_solved_ns = st.solved_ns;
+    c_sched_rng = Nyx_sim.Rng.state st.rng;
+    c_mut_rng = Nyx_sim.Rng.state st.mut_rng;
+    c_policy_state = Policy.checkpoint_state st.policy;
+    c_corpus =
+      (* entries are newest first; rev_map flips to oldest first so ids
+         re-assign to their original values on resume. *)
+      List.rev_map
+        (fun (e : Corpus.entry) ->
+          {
+            Checkpoint.ce_program = Nyx_spec.Program.serialize e.Corpus.program;
+            ce_exec_ns = e.Corpus.exec_ns;
+            ce_discovered_ns = e.Corpus.discovered_ns;
+            ce_state_code = e.Corpus.state_code;
+          })
+        (Corpus.entries st.corpus);
+    c_virgin = Coverage.Cumulative.state_bytes st.cumulative;
+    c_timeline =
+      List.map
+        (fun (t, v) -> (t, Int64.bits_of_float v))
+        (Nyx_sim.Stats.Timeline.samples st.timeline);
+    c_crashes =
+      List.map
+        (fun (c : Report.crash_report) ->
+          {
+            Checkpoint.cr_kind = c.Report.kind;
+            cr_detail = c.Report.detail;
+            cr_found_ns = c.Report.found_ns;
+            cr_found_exec = c.Report.found_exec;
+            cr_input = c.Report.input;
+          })
+        st.crashes;
+    c_engine = Executor.engine_checkpoint st.exec;
+    c_dict = st.dict;
+    c_max_ops = st.max_ops;
+    c_faults =
+      Option.map
+        (fun p ->
+          (Nyx_resilience.Plan.spec_string p, Nyx_resilience.Plan.state p))
+        st.plan;
+    c_profile = Option.map Nyx_obs.Profile.state st.prof;
+  }
+
+let maybe_checkpoint st =
+  match st.ck with
+  | None -> ()
+  | Some ck ->
+    let t = now st in
+    if t - st.ck_last >= ck.ck_interval_ns then begin
+      st.ck_last <- t;
+      match Checkpoint.save ck.ck_path (capture st) with
+      | Ok () ->
+        st.ck_ordinal <- st.ck_ordinal + 1;
+        if Nyx_obs.Trace.on () then
+          Nyx_obs.Trace.instant ~vns:t "checkpoint"
+            [
+              ("ordinal", Nyx_obs.Trace.Int st.ck_ordinal);
+              ("execs", Nyx_obs.Trace.Int st.execs);
+            ];
+        (match ck.ck_on_write with Some f -> f st.ck_ordinal | None -> ())
+      | Error m ->
+        (* Checkpointing is a safety net, not a dependency: keep fuzzing. *)
+        Printf.eprintf "nyx: checkpoint write failed (%s); continuing\n%!" m
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The main loop, shared by [run] and [resume].                        *)
+
+let main_loop st =
+  while not (over_budget st) do
+    maybe_checkpoint st;
+    let entry_sched = Corpus.schedule st.corpus st.rng in
+    let packets = entry_sched.Corpus.packets in
+    (* Cached newest-first snapshot; Corpus.programs only reallocates
+       after growth, so steady-state rounds stop paying O(corpus). *)
+    let corpus_progs = Corpus.programs st.corpus in
+    match Policy.decide st.policy ~input_id:entry_sched.Corpus.id ~packets with
+    | `Root ->
+      let i = ref 0 in
+      while !i < Policy.reuse_count && not (over_budget st) do
+        incr i;
+        let mutated =
+          Nyx_obs.Trace.with_span
+            ~vns_of:(fun () -> now st)
+            "mutation"
+            [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+            (fun () ->
+              Nyx_spec.Mutator.mutate st.mut_rng ~max_ops:st.max_ops
+                ~dict:st.dict ~corpus:corpus_progs entry_sched.Corpus.program)
+        in
+        let r = Executor.run_full st.exec mutated in
+        ignore (triage st r mutated)
+      done
+    | `At idx -> (
+      let with_snap =
+        Nyx_spec.Program.with_snapshot_at entry_sched.Corpus.program idx
+      in
+      match Executor.start_session st.exec with_snap with
+      | Error r ->
+        (* The prefix itself crashed or failed: still a test case. *)
+        ignore (triage st r with_snap)
+      | Ok session ->
+        let frozen = Executor.suffix_start session in
+        let news = ref false in
+        let i = ref 0 in
+        while !i < Policy.reuse_count && not (over_budget st) do
+          incr i;
+          let mutated =
+            Nyx_obs.Trace.with_span
+              ~vns_of:(fun () -> now st)
+              "mutation"
+              [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+              (fun () ->
+                Nyx_spec.Mutator.mutate st.mut_rng
+                  ~max_ops:(st.max_ops + 1 (* snapshot op *))
+                  ~dict:st.dict ~frozen ~corpus:corpus_progs with_snap)
+          in
+          let r = Executor.run_suffix st.exec session mutated in
+          if triage st r mutated then news := true
+        done;
+        Executor.end_session st.exec session;
+        if not !news then
+          Policy.notify_no_news st.policy ~input_id:entry_sched.Corpus.id)
+  done
+
+let finish st wall0 =
+  sample ~force:true st;
+  let virtual_ns = now st in
+  let final_edges = Coverage.Cumulative.edge_count st.cumulative in
+  let wall_s = Nyx_parallel.Wall.now_s () -. wall0 in
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_end ~vns:virtual_ns "campaign"
+      [
+        ("execs", Nyx_obs.Trace.Int st.execs);
+        ("edges", Nyx_obs.Trace.Int final_edges);
+        ("corpus", Nyx_obs.Trace.Int (Corpus.size st.corpus));
+        ("crash_kinds", Nyx_obs.Trace.Int (List.length st.crashes));
+      ];
+  {
+    Report.fuzzer = Policy.name st.cfg.policy;
+    target = Executor.target_name st.exec;
+    run_seed = st.cfg.seed;
+    timeline = st.timeline;
+    final_edges;
+    execs = st.execs;
+    virtual_ns;
+    execs_per_sec =
+      (if virtual_ns = 0 then 0.0
+       else float_of_int st.execs /. (float_of_int virtual_ns /. 1e9));
+    crashes = List.rev st.crashes;
+    corpus_size = Corpus.size st.corpus;
+    solved_ns = st.solved_ns;
+    snapshot_stats = Some (Executor.snapshot_stats st.exec);
+    wall_s;
+    phase_profile =
+      Option.map
+        (fun p ->
+          Nyx_obs.Profile.snapshot p ~total_virtual_ns:virtual_ns
+            ~total_wall_s:wall_s)
+        st.prof;
+    resilience =
+      Option.map
+        (fun plan ->
+          let t = Nyx_resilience.Plan.totals plan in
+          {
+            Report.faults_injected = t.Nyx_resilience.Plan.injected;
+            faults_recovered = t.Nyx_resilience.Plan.recovered;
+            faults_aborted =
+              t.Nyx_resilience.Plan.injected - t.Nyx_resilience.Plan.recovered;
+            restarts = 0;
+            quarantined = false;
+            backoff_ns = 0;
+          })
+        st.plan;
+  }
+
+let trace_campaign_begin st =
+  if Nyx_obs.Trace.on () then
+    Nyx_obs.Trace.span_begin ~vns:(now st) "campaign"
+      [
+        ("target", Nyx_obs.Trace.Str (Executor.target_name st.exec));
+        ("fuzzer", Nyx_obs.Trace.Str (Policy.name st.cfg.policy));
+        ("seed", Nyx_obs.Trace.Int st.cfg.seed);
+      ]
+
+let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
   let wall0 = Nyx_parallel.Wall.now_s () in
   let spec = net_spec () in
   let rng = Nyx_sim.Rng.create cfg.seed in
@@ -156,33 +401,23 @@ let run ?seeds ?custom ?(profile = false) cfg entry =
     Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?profile:prof
       ~net_spec:spec entry.Registry.target
   in
-  let target_name = entry.Registry.target.Target.info.Target.name in
-  if Nyx_obs.Trace.on () then
-    Nyx_obs.Trace.span_begin
-      ~vns:(Nyx_sim.Clock.now_ns (Executor.clock exec))
-      "campaign"
-      [
-        ("target", Nyx_obs.Trace.Str target_name);
-        ("fuzzer", Nyx_obs.Trace.Str (Policy.name cfg.policy));
-        ("seed", Nyx_obs.Trace.Int cfg.seed);
-      ];
-  let st =
-    {
-      cfg;
-      exec;
-      corpus = Corpus.create ();
-      cumulative = Coverage.Cumulative.create ();
-      timeline = Nyx_sim.Stats.Timeline.create ();
-      rng;
-      execs = 0;
-      crashes = [];
-      solved_ns = None;
-      last_sample = 0;
-      stop = false;
-    }
-  in
   let policy = Policy.create cfg.policy (Nyx_sim.Rng.split rng) in
   let mut_rng = Nyx_sim.Rng.split rng in
+  (* Fault plan: [~faults] wins, else NYX_FAULTS. Its rng split happens
+     ONLY when a plan is armed, so fault-free runs keep the historical
+     draw sequence (golden results stay byte-identical). *)
+  let plan =
+    match
+      (match faults with
+      | Some _ -> faults
+      | None -> Nyx_resilience.Plan.of_env ())
+    with
+    | None -> None
+    | Some sp ->
+      let p = Nyx_resilience.Plan.create sp (Nyx_sim.Rng.split rng) in
+      Executor.arm_faults exec p;
+      Some p
+  in
   (* Seed the corpus. *)
   let seed_programs =
     match seeds with Some s -> s | None -> make_seeds entry spec
@@ -202,6 +437,31 @@ let run ?seeds ?custom ?(profile = false) cfg entry =
       (fun acc p -> max acc (2 * Array.length p.Nyx_spec.Program.ops))
       24 seed_programs
   in
+  let st =
+    {
+      cfg;
+      exec;
+      corpus = Corpus.create ();
+      cumulative = Coverage.Cumulative.create ();
+      timeline = Nyx_sim.Stats.Timeline.create ();
+      rng;
+      policy;
+      mut_rng;
+      dict;
+      max_ops;
+      plan;
+      prof;
+      ck = checkpoint;
+      ck_last = Nyx_sim.Clock.now_ns (Executor.clock exec);
+      ck_ordinal = 0;
+      execs = 0;
+      crashes = [];
+      solved_ns = None;
+      last_sample = 0;
+      stop = false;
+    }
+  in
+  trace_campaign_begin st;
   List.iter
     (fun program ->
       if not (over_budget st) then begin
@@ -215,91 +475,135 @@ let run ?seeds ?custom ?(profile = false) cfg entry =
       (Corpus.add st.corpus
          ~program:(Nyx_spec.Net_spec.seed_of_packets spec [])
          ~exec_ns:0 ~discovered_ns:(now st) ~state_code:0);
-  while not (over_budget st) do
-    let entry_sched = Corpus.schedule st.corpus st.rng in
-    let packets = entry_sched.Corpus.packets in
-    (* Cached newest-first snapshot; Corpus.programs only reallocates
-       after growth, so steady-state rounds stop paying O(corpus). *)
-    let corpus_progs = Corpus.programs st.corpus in
-    match Policy.decide policy ~input_id:entry_sched.Corpus.id ~packets with
-    | `Root ->
-      let i = ref 0 in
-      while !i < Policy.reuse_count && not (over_budget st) do
-        incr i;
-        let mutated =
-          Nyx_obs.Trace.with_span
-            ~vns_of:(fun () -> now st)
-            "mutation"
-            [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
-            (fun () ->
-              Nyx_spec.Mutator.mutate mut_rng ~max_ops ~dict ~corpus:corpus_progs
-                entry_sched.Corpus.program)
-        in
-        let r = Executor.run_full exec mutated in
-        ignore (triage st r mutated)
-      done
-    | `At idx -> (
-      let with_snap = Nyx_spec.Program.with_snapshot_at entry_sched.Corpus.program idx in
-      match Executor.start_session exec with_snap with
-      | Error r ->
-        (* The prefix itself crashed or failed: still a test case. *)
-        ignore (triage st r with_snap)
-      | Ok session ->
-        let frozen = Executor.suffix_start session in
-        let news = ref false in
-        let i = ref 0 in
-        while !i < Policy.reuse_count && not (over_budget st) do
-          incr i;
-          let mutated =
-            Nyx_obs.Trace.with_span
-              ~vns_of:(fun () -> now st)
-              "mutation"
-              [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
-              (fun () ->
-                Nyx_spec.Mutator.mutate mut_rng
-                  ~max_ops:(max_ops + 1 (* snapshot op *))
-                  ~dict ~frozen ~corpus:corpus_progs with_snap)
-          in
-          let r = Executor.run_suffix exec session mutated in
-          if triage st r mutated then news := true
-        done;
-        Executor.end_session exec session;
-        if not !news then Policy.notify_no_news policy ~input_id:entry_sched.Corpus.id)
-  done;
-  sample ~force:true st;
-  let virtual_ns = now st in
-  let final_edges = Coverage.Cumulative.edge_count st.cumulative in
-  let wall_s = Nyx_parallel.Wall.now_s () -. wall0 in
-  if Nyx_obs.Trace.on () then
-    Nyx_obs.Trace.span_end ~vns:virtual_ns "campaign"
-      [
-        ("execs", Nyx_obs.Trace.Int st.execs);
-        ("edges", Nyx_obs.Trace.Int final_edges);
-        ("corpus", Nyx_obs.Trace.Int (Corpus.size st.corpus));
-        ("crash_kinds", Nyx_obs.Trace.Int (List.length st.crashes));
-      ];
-  {
-    Report.fuzzer = Policy.name cfg.policy;
-    target = target_name;
-    run_seed = cfg.seed;
-    timeline = st.timeline;
-    final_edges;
-    execs = st.execs;
-    virtual_ns;
-    execs_per_sec =
-      (if virtual_ns = 0 then 0.0
-       else float_of_int st.execs /. (float_of_int virtual_ns /. 1e9));
-    crashes = List.rev st.crashes;
-    corpus_size = Corpus.size st.corpus;
-    solved_ns = st.solved_ns;
-    snapshot_stats = Some (Executor.snapshot_stats exec);
-    wall_s;
-    phase_profile =
-      Option.map
-        (fun p ->
-          Nyx_obs.Profile.snapshot p ~total_virtual_ns:virtual_ns ~total_wall_s:wall_s)
-        prof;
-  }
+  main_loop st;
+  finish st wall0
+
+let resume ?custom ?(profile = false) ?checkpoint (ckpt : Checkpoint.t) entry =
+  let wall0 = Nyx_parallel.Wall.now_s () in
+  let target_name = entry.Registry.target.Target.info.Target.name in
+  if ckpt.Checkpoint.c_target <> target_name then
+    invalid_arg
+      (Printf.sprintf "Campaign.resume: checkpoint is for target %S, not %S"
+         ckpt.Checkpoint.c_target target_name);
+  let policy_kind =
+    match Policy.of_name ckpt.Checkpoint.c_policy with
+    | Ok k -> k
+    | Error m -> invalid_arg ("Campaign.resume: " ^ m)
+  in
+  let cfg =
+    {
+      policy = policy_kind;
+      budget_ns = ckpt.Checkpoint.c_budget_ns;
+      max_execs = ckpt.Checkpoint.c_max_execs;
+      seed = ckpt.Checkpoint.c_seed;
+      asan = ckpt.Checkpoint.c_asan;
+      stop_on_solve = ckpt.Checkpoint.c_stop_on_solve;
+      trim = ckpt.Checkpoint.c_trim;
+      sample_interval_ns = ckpt.Checkpoint.c_sample_interval_ns;
+    }
+  in
+  let spec = net_spec () in
+  let rng = Nyx_sim.Rng.create cfg.seed in
+  (* Same draw as the original run: the layout cookie must match so the
+     re-boot reproduces the original guest layout bit-for-bit. *)
+  let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
+  let prof = if profile then Some (Nyx_obs.Profile.create ()) else None in
+  let exec =
+    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?profile:prof
+      ~net_spec:spec entry.Registry.target
+  in
+  (match (prof, ckpt.Checkpoint.c_profile) with
+  | Some p, Some s -> Nyx_obs.Profile.restore_state p s
+  | _ -> ());
+  (* Dummy-seeded RNGs below are immediately overwritten via set_state:
+     only the restored states matter, never the creation seeds. *)
+  Nyx_sim.Rng.set_state rng ckpt.Checkpoint.c_sched_rng;
+  let policy = Policy.create cfg.policy (Nyx_sim.Rng.create 0) in
+  Policy.restore_state policy ckpt.Checkpoint.c_policy_state;
+  let mut_rng = Nyx_sim.Rng.create 0 in
+  Nyx_sim.Rng.set_state mut_rng ckpt.Checkpoint.c_mut_rng;
+  let plan =
+    match ckpt.Checkpoint.c_faults with
+    | None -> None
+    | Some (spec_str, pstate) ->
+      let sp =
+        match Nyx_resilience.Plan.parse_spec spec_str with
+        | Ok sp -> sp
+        | Error m -> invalid_arg ("Campaign.resume: stored fault spec: " ^ m)
+      in
+      let p = Nyx_resilience.Plan.create sp (Nyx_sim.Rng.create 0) in
+      Nyx_resilience.Plan.restore_state p pstate;
+      Executor.arm_faults exec p;
+      Some p
+  in
+  (* Rebuild the corpus oldest-first so ids re-assign to their original
+     values (Corpus.add numbers sequentially). *)
+  let corpus = Corpus.create () in
+  List.iter
+    (fun (e : Checkpoint.corpus_entry) ->
+      let program =
+        match
+          Nyx_spec.Program.parse spec.Nyx_spec.Net_spec.spec
+            e.Checkpoint.ce_program
+        with
+        | Ok p -> p
+        | Error m -> invalid_arg ("Campaign.resume: corpus entry: " ^ m)
+      in
+      ignore
+        (Corpus.add corpus ~program ~exec_ns:e.Checkpoint.ce_exec_ns
+           ~discovered_ns:e.Checkpoint.ce_discovered_ns
+           ~state_code:e.Checkpoint.ce_state_code))
+    ckpt.Checkpoint.c_corpus;
+  let cumulative = Coverage.Cumulative.create () in
+  Coverage.Cumulative.load_state cumulative ckpt.Checkpoint.c_virgin;
+  let timeline = Nyx_sim.Stats.Timeline.create () in
+  List.iter
+    (fun (t, bits) ->
+      Nyx_sim.Stats.Timeline.record timeline t (Int64.float_of_bits bits))
+    ckpt.Checkpoint.c_timeline;
+  let crashes =
+    List.map
+      (fun (c : Checkpoint.crash) ->
+        {
+          Report.kind = c.Checkpoint.cr_kind;
+          detail = c.Checkpoint.cr_detail;
+          found_ns = c.Checkpoint.cr_found_ns;
+          found_exec = c.Checkpoint.cr_found_exec;
+          input = c.Checkpoint.cr_input;
+        })
+      ckpt.Checkpoint.c_crashes
+  in
+  Executor.engine_restore_checkpoint exec ckpt.Checkpoint.c_engine;
+  (* Boot charged its costs onto the fresh clock; jump to the campaign's
+     checkpointed virtual time, which already accounts for them. *)
+  Nyx_sim.Clock.set_ns (Executor.clock exec) ckpt.Checkpoint.c_clock_ns;
+  let st =
+    {
+      cfg;
+      exec;
+      corpus;
+      cumulative;
+      timeline;
+      rng;
+      policy;
+      mut_rng;
+      dict = ckpt.Checkpoint.c_dict;
+      max_ops = ckpt.Checkpoint.c_max_ops;
+      plan;
+      prof;
+      ck = checkpoint;
+      ck_last = ckpt.Checkpoint.c_clock_ns;
+      ck_ordinal = 0;
+      execs = ckpt.Checkpoint.c_execs;
+      crashes;
+      solved_ns = ckpt.Checkpoint.c_solved_ns;
+      last_sample = ckpt.Checkpoint.c_last_sample;
+      stop = false;
+    }
+  in
+  trace_campaign_begin st;
+  main_loop st;
+  finish st wall0
 
 let median_result results =
   match results with

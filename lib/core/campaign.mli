@@ -26,10 +26,29 @@ type config = {
 val default_config : config
 (** 30 virtual seconds, 200k execs max, seed 1, no ASan. *)
 
+(** {2 Crash-safe checkpointing} *)
+
+type checkpoint_cfg
+(** Periodic checkpoint policy: every [interval_ns] of virtual time the
+    campaign serializes its deterministic state (corpus, cumulative
+    coverage, RNG and clock state, fault plan, …) to [path] with an
+    atomic tmp-then-rename write. A campaign killed at any point can then
+    be continued with {!resume}, producing a final result bit-identical
+    to the uninterrupted run ({!Report.same_deterministic}). *)
+
+val checkpointing :
+  ?on_write:(int -> unit) -> path:string -> interval_ns:int -> unit ->
+  checkpoint_cfg
+(** [on_write ordinal] runs after the [ordinal]-th (1-based) checkpoint
+    has been durably written — the hook used by the kill-and-resume
+    determinism test. @raise Invalid_argument if [interval_ns <= 0]. *)
+
 val run :
   ?seeds:Nyx_spec.Program.t list ->
   ?custom:Op_handlers.custom_handler ->
   ?profile:bool ->
+  ?faults:Nyx_resilience.Plan.spec ->
+  ?checkpoint:checkpoint_cfg ->
   config ->
   Nyx_targets.Registry.entry ->
   Report.campaign_result
@@ -40,7 +59,39 @@ val run :
     [profile] (default false) attaches a {!Nyx_obs.Profile.t} to the
     executor and fills the result's [phase_profile] with the per-phase
     virtual-time breakdown. Profiling is observational: every other
-    result field is bit-identical with it on or off. *)
+    result field is bit-identical with it on or off.
+
+    [faults] arms a deterministic fault-injection plan (overriding the
+    [NYX_FAULTS] environment variable, which is consulted otherwise —
+    see {!Nyx_resilience.Plan.of_env}). The plan's RNG is split from the
+    campaign RNG only when a plan is armed, so fault-free runs keep the
+    historical draw sequence and golden results stay byte-identical.
+    When armed, the result's [resilience] block reports injected /
+    recovered / aborted fault counts.
+
+    [checkpoint] enables periodic crash-safe checkpointing (see
+    {!checkpointing}). Checkpoint writes are observational: they advance
+    no virtual time and draw no randomness, so a checkpointed run's
+    result is bit-identical to an uncheckpointed one. *)
+
+val resume :
+  ?custom:Op_handlers.custom_handler ->
+  ?profile:bool ->
+  ?checkpoint:checkpoint_cfg ->
+  Checkpoint.t ->
+  Nyx_targets.Registry.entry ->
+  Report.campaign_result
+(** Continue a campaign from a checkpoint (typically
+    {!Checkpoint.load}ed from disk after a crash or kill). The target is
+    re-booted — deterministic given the checkpointed seed — and every
+    RNG, the virtual clock, the corpus, cumulative coverage, crash log
+    and snapshot-engine state are restored, after which the main loop
+    continues exactly as the original run would have: the final result
+    satisfies {!Report.same_deterministic} against the uninterrupted
+    run's. [custom] must be the same handler the original run used.
+
+    @raise Invalid_argument if the checkpoint's target does not match
+    [entry], or the checkpoint stores an unknown policy/fault spec. *)
 
 val make_seeds :
   Nyx_targets.Registry.entry -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list

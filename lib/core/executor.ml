@@ -57,6 +57,62 @@ let reset_exec_state t =
   t.ctx.Ctx.state_code <- 0;
   Op_handlers.reset t.ops
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection and recovery.                                       *)
+
+let arm_faults t plan = Nyx_vm.Vm.arm_faults (Nyx_snapshot.Engine.vm t.engine) plan
+let faults t = Nyx_vm.Vm.faults (Nyx_snapshot.Engine.vm t.engine)
+
+let engine_checkpoint t = Nyx_snapshot.Engine.checkpoint t.engine
+let engine_restore_checkpoint t p = Nyx_snapshot.Engine.restore_checkpoint t.engine p
+
+(* Guest wedge: the target stops responding for the whole hang budget.
+   The per-execution snapshot reset unconditionally clears a wedge, so it
+   is recovered on the spot — after charging the budgeted wait — and the
+   execution reports as a hang without running. *)
+let wedge_status t =
+  match faults t with
+  | None -> None
+  | Some plan -> (
+    match
+      Nyx_resilience.Plan.fire plan Nyx_resilience.Fault.Guest_wedge
+        ~vns:(Nyx_sim.Clock.now_ns t.clock)
+    with
+    | None -> None
+    | Some f ->
+      Nyx_sim.Clock.advance t.clock Nyx_sim.Cost.guest_wedge;
+      Nyx_resilience.Plan.record_recovered plan f;
+      if Nyx_obs.Trace.on () then
+        Nyx_obs.Trace.instant
+          ~vns:(Nyx_sim.Clock.now_ns t.clock)
+          "fault-wedge"
+          [ ("seq", Nyx_obs.Trace.Int f.Nyx_resilience.Fault.seq) ];
+      Some Report.Hang)
+
+(* Graceful degradation (the paper's recreate-on-demand, §3.4): the active
+   incremental snapshot carries an injected fault — discard it, rebuild it
+   from the root by replaying the program's frozen prefix, and carry on.
+   Recovery runs with the plan suppressed (it cannot itself fault); its
+   full cost — root restore, prefix replay, snapshot re-take — is charged
+   to virtual time like any other work. *)
+let recover_incremental t program =
+  match faults t with
+  | None -> assert false (* Fault.Injected is only raised with a plan armed *)
+  | Some plan ->
+    let n_faults = List.length (Nyx_snapshot.Engine.pending t.engine) in
+    Nyx_resilience.Plan.suppressed plan (fun () ->
+        (* restore_root discards the faulted incremental and retires its
+           pending faults as recovered. *)
+        Nyx_snapshot.Engine.restore_root t.engine;
+        reset_exec_state t;
+        ignore
+          (Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops)));
+    if Nyx_obs.Trace.on () then
+      Nyx_obs.Trace.instant
+        ~vns:(Nyx_sim.Clock.now_ns t.clock)
+        "fault-recovered"
+        [ ("faults", Nyx_obs.Trace.Int n_faults) ]
+
 let status_of_run f =
   try
     f ();
@@ -91,9 +147,12 @@ let run_full t program =
       Nyx_snapshot.Engine.restore_root t.engine;
       reset_exec_state t);
   let status =
-    prof t Nyx_obs.Profile.Suffix_exec (fun () ->
-        status_of_run (fun () ->
-            ignore (Nyx_spec.Interp.run program (Op_handlers.handlers t.ops))))
+    match wedge_status t with
+    | Some status -> status
+    | None ->
+      prof t Nyx_obs.Profile.Suffix_exec (fun () ->
+          status_of_run (fun () ->
+              ignore (Nyx_spec.Interp.run program (Op_handlers.handlers t.ops))))
   in
   (* If the program took an incremental snapshot mid-run, drop it. *)
   if Nyx_snapshot.Engine.has_incremental t.engine then
@@ -128,13 +187,16 @@ let start_session t program =
         reset_exec_state t);
     let result = ref None in
     let status =
-      prof t Nyx_obs.Profile.Prefix_replay (fun () ->
-          status_of_run (fun () ->
-              match
-                Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops)
-              with
-              | Some (from, env) -> result := Some (from, env)
-              | None -> ()))
+      match wedge_status t with
+      | Some status -> status
+      | None ->
+        prof t Nyx_obs.Profile.Prefix_replay (fun () ->
+            status_of_run (fun () ->
+                match
+                  Nyx_spec.Interp.run_until_snapshot program (Op_handlers.handlers t.ops)
+                with
+                | Some (from, env) -> result := Some (from, env)
+                | None -> ()))
     in
     let trace_close ok =
       if Nyx_obs.Trace.on () then
@@ -176,17 +238,24 @@ let run_suffix t session program =
   if Nyx_obs.Trace.on () then
     Nyx_obs.Trace.span_begin ~vns:t0 "exec" [ ("mode", Nyx_obs.Trace.Str "suffix") ];
   prof t Nyx_obs.Profile.Reset (fun () ->
-      Nyx_snapshot.Engine.restore t.engine;
+      (try Nyx_snapshot.Engine.restore t.engine
+       with Nyx_resilience.Fault.Injected _ ->
+         (* The frozen prefix is preserved verbatim in every mutant, so
+            replaying [program]'s prefix rebuilds the exact session. *)
+         recover_incremental t program);
       Coverage.restore t.ctx.Ctx.cov session.s_cov;
       t.ctx.Ctx.state_code <- session.s_state_code;
       Op_handlers.load_tokens t.ops session.s_tokens);
   let env = Nyx_spec.Interp.copy_env session.s_env in
   let status =
-    prof t Nyx_obs.Profile.Suffix_exec (fun () ->
-        status_of_run (fun () ->
-            ignore
-              (Nyx_spec.Interp.run ~from:session.s_from ~env program
-                 (Op_handlers.handlers t.ops))))
+    match wedge_status t with
+    | Some status -> status
+    | None ->
+      prof t Nyx_obs.Profile.Suffix_exec (fun () ->
+          status_of_run (fun () ->
+              ignore
+                (Nyx_spec.Interp.run ~from:session.s_from ~env program
+                   (Op_handlers.handlers t.ops))))
   in
   let exec_ns = Nyx_sim.Clock.now_ns t.clock - t0 in
   if Nyx_obs.Trace.on () then

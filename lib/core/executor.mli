@@ -51,6 +51,21 @@ val root_stored_bytes : t -> int
 val mirror_bytes : t -> int
 (** Bytes held by this instance's private incremental mirror. *)
 
+(** {2 Fault injection (ISSUE: nyx_resilience)} *)
+
+val arm_faults : t -> Nyx_resilience.Plan.t -> unit
+(** Arm a deterministic fault plan on this instance's VM. The snapshot
+    engine then consults it when incremental snapshots are taken and
+    restored; the executor consults its [Guest_wedge] site before each
+    execution. With no plan armed every consultation is one branch. *)
+
+val faults : t -> Nyx_resilience.Plan.t option
+
+(** {2 Campaign checkpointing} *)
+
+val engine_checkpoint : t -> Nyx_snapshot.Engine.persisted
+val engine_restore_checkpoint : t -> Nyx_snapshot.Engine.persisted -> unit
+
 val status_of_run : (unit -> unit) -> Report.status
 (** Run a thunk, mapping the crash exceptions every executor must handle
     (target crashes, ASan violations, guest faults, protocol desyncs)
@@ -74,6 +89,14 @@ val suffix_start : session -> int
 
 val run_suffix : t -> session -> Nyx_spec.Program.t -> Report.exec_result
 (** Execute a program sharing the session's frozen prefix: only ops from
-    {!suffix_start} run, against the incremental snapshot. *)
+    {!suffix_start} run, against the incremental snapshot.
+
+    When a fault plan is armed and the incremental snapshot turns out to
+    be faulted (corrupted at creation, lossy dirty log, or a failed
+    restore), the executor degrades gracefully: the snapshot is discarded
+    and transparently rebuilt from the root by replaying the program's
+    frozen prefix — the paper's recreate-on-demand path (§3.4) — with the
+    recovery's full cost charged to virtual time and the faults counted
+    as recovered in the plan. *)
 
 val end_session : t -> session -> unit

@@ -2,17 +2,86 @@
    differ only in their RNG seed. Each instance owns its virtual clock,
    VM and corpus, so instances fan out across domains (Nyx_parallel.Pool);
    results are merged in submission order, making the outcome identical
-   whatever NYX_DOMAINS says. *)
+   whatever NYX_DOMAINS says.
+
+   The supervisor (ISSUE: nyx_resilience): an instance that dies with an
+   exception is restarted with the same config after a capped exponential
+   virtual-time backoff, up to [max_restarts] retries; an instance that
+   keeps dying is quarantined and the fleet reports partial results from
+   the survivors instead of propagating Pool.Task_error. *)
 
 type outcome = {
   instances : int;
   first_solve_ns : int option;
   solves : int;
   total_execs : int;
+  restarts : int;
+  quarantined : int;
+  results : Report.campaign_result list;
   wall_s : float; (* real wall-clock for the whole fleet *)
 }
 
-let run ?(instances = 52) ?domains ~config entry =
+let backoff_base_ns = 1_000_000_000
+let backoff_cap_ns = 60_000_000_000
+
+let exn_brief exn =
+  match Printexc.to_string exn with
+  | s when String.length s > 200 -> String.sub s 0 200 ^ "..."
+  | s -> s
+
+(* Run one instance under supervision. Never raises: the pool's
+   cancel-on-first-error contract must not see instance failures.
+   Returns (survivor result if any, restarts used, total backoff_ns). *)
+let supervise ~max_restarts ~run_one idx cfg =
+  let rec go attempt backoff_ns =
+    match run_one cfg with
+    | result -> (Some result, attempt, backoff_ns)
+    | exception exn ->
+      if attempt >= max_restarts then begin
+        Printf.eprintf
+          "nyx: fleet instance %d (seed %d) failed (%s); quarantined after %d \
+           restarts\n\
+           %!"
+          idx cfg.Campaign.seed (exn_brief exn) attempt;
+        (None, attempt, backoff_ns)
+      end
+      else begin
+        let d =
+          Nyx_resilience.Backoff.delay_ns ~base_ns:backoff_base_ns ~cap_ns:backoff_cap_ns
+            ~attempt
+        in
+        Printf.eprintf
+          "nyx: fleet instance %d (seed %d) failed (%s); restarting (attempt \
+           %d/%d) after %d ns backoff\n\
+           %!"
+          idx cfg.Campaign.seed (exn_brief exn) (attempt + 1) max_restarts d;
+        go (attempt + 1) (backoff_ns + d)
+      end
+  in
+  go 0 0
+
+(* Fold the supervisor's bookkeeping into the survivor's resilience
+   block, so per-instance reports carry their own restart history. *)
+let amend_result (r : Report.campaign_result) ~restarts ~backoff_ns =
+  if restarts = 0 then r
+  else
+    let base =
+      match r.Report.resilience with
+      | Some b -> b
+      | None ->
+        {
+          Report.faults_injected = 0;
+          faults_recovered = 0;
+          faults_aborted = 0;
+          restarts = 0;
+          quarantined = false;
+          backoff_ns = 0;
+        }
+    in
+    { r with Report.resilience = Some { base with Report.restarts; backoff_ns } }
+
+let run ?(instances = 52) ?domains ?(max_restarts = 3) ?run_instance ~config
+    entry =
   let t0 = Nyx_parallel.Wall.now_s () in
   if Nyx_obs.Trace.on () then
     Nyx_obs.Trace.span_begin "fleet"
@@ -23,12 +92,31 @@ let run ?(instances = 52) ?domains ~config entry =
               .Nyx_targets.Target.name );
         ("instances", Nyx_obs.Trace.Int instances);
       ];
+  let run_one =
+    match run_instance with
+    | Some f -> f
+    | None -> fun cfg -> Campaign.run cfg entry
+  in
   let configs =
     List.init instances (fun i ->
-        { config with Campaign.seed = config.Campaign.seed + (1000 * i) })
+        (i, { config with Campaign.seed = config.Campaign.seed + (1000 * i) }))
+  in
+  let raw =
+    Nyx_parallel.Pool.map_list ?domains
+      (fun (i, cfg) -> supervise ~max_restarts ~run_one i cfg)
+      configs
+  in
+  let restarts = List.fold_left (fun acc (_, r, _) -> acc + r) 0 raw in
+  let quarantined =
+    List.fold_left
+      (fun acc (res, _, _) -> if res = None then acc + 1 else acc)
+      0 raw
   in
   let results =
-    Nyx_parallel.Pool.map_list ?domains (fun cfg -> Campaign.run cfg entry) configs
+    List.filter_map
+      (fun (res, restarts, backoff_ns) ->
+        Option.map (amend_result ~restarts ~backoff_ns) res)
+      raw
   in
   let solve_times = List.filter_map (fun r -> r.Report.solved_ns) results in
   let outcome =
@@ -40,6 +128,9 @@ let run ?(instances = 52) ?domains ~config entry =
         | ts -> Some (List.fold_left min max_int ts));
       solves = List.length solve_times;
       total_execs = List.fold_left (fun acc r -> acc + r.Report.execs) 0 results;
+      restarts;
+      quarantined;
+      results;
       wall_s = Nyx_parallel.Wall.now_s () -. t0;
     }
   in
@@ -50,6 +141,8 @@ let run ?(instances = 52) ?domains ~config entry =
         ("total_execs", Nyx_obs.Trace.Int outcome.total_execs);
         ( "first_solve_ns",
           Nyx_obs.Trace.Int (Option.value ~default:(-1) outcome.first_solve_ns) );
+        ("restarts", Nyx_obs.Trace.Int outcome.restarts);
+        ("quarantined", Nyx_obs.Trace.Int outcome.quarantined);
       ];
     (* Worker-domain buffers flushed at their campaign span ends; make the
        fleet's own events durable too. *)

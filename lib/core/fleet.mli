@@ -1,4 +1,4 @@
-(** Parallel fuzzing simulation (§5.3's 52-core experiments).
+(** Parallel fuzzing simulation (§5.3's 52-core experiments), supervised.
 
     The paper parallelizes Nyx-Net across physical cores with shared root
     snapshots; wall-clock time-to-result is then the minimum over the
@@ -14,14 +14,35 @@
     Instances fan out across OCaml 5 domains via {!Nyx_parallel.Pool}
     (NYX_DOMAINS, or [?domains]). Each instance owns its clock, VM and
     RNG and results merge in submission order, so the outcome is
-    identical whatever the domain count. *)
+    identical whatever the domain count.
+
+    {2 Supervision}
+
+    A campaign that dies with an exception does not abort the fleet (and
+    never reaches {!Nyx_parallel.Pool.Task_error}'s cancel-on-first-error
+    path): the supervisor restarts it with the same config after a capped
+    exponential virtual-time backoff (base 1 s, cap 60 s), up to
+    [max_restarts] retries, then quarantines it. The fleet returns
+    partial results from the survivors; each survivor's
+    [Report.resilience] block carries the restarts it needed and the
+    total backoff charged. Campaigns are deterministic, so a failure
+    always recurs on retry — real fleets restart past transient host
+    faults (OOM kills, lost workers), which the retry budget models; a
+    deterministic crash simply exhausts it and quarantines, which is the
+    property the tests pin down. *)
 
 type outcome = {
   instances : int;
   first_solve_ns : int option;
-      (** earliest virtual solve time across the fleet *)
+      (** earliest virtual solve time across surviving instances *)
   solves : int;  (** how many instances solved within their budget *)
-  total_execs : int;
+  total_execs : int;  (** summed over survivors *)
+  restarts : int;  (** total supervisor restarts across the fleet *)
+  quarantined : int;
+      (** instances that exhausted their retry budget; [results] omits
+          them, so [List.length results = instances - quarantined] *)
+  results : Report.campaign_result list;
+      (** per-survivor results in instance order *)
   wall_s : float;
       (** real wall-clock for the whole fleet — the field the domain pool
           shrinks; everything above is deterministic *)
@@ -30,10 +51,16 @@ type outcome = {
 val run :
   ?instances:int ->
   ?domains:int ->
+  ?max_restarts:int ->
+  ?run_instance:(Campaign.config -> Report.campaign_result) ->
   config:Campaign.config ->
   Nyx_targets.Registry.entry ->
   outcome
 (** [instances] defaults to 52, the paper's core count. Each instance
     runs [config] with a distinct seed derived from [config.seed].
     [domains] overrides NYX_DOMAINS; [1] runs sequentially on the calling
-    domain. *)
+    domain. [max_restarts] (default 3) bounds per-instance supervisor
+    restarts before quarantine. [run_instance] replaces
+    [Campaign.run cfg entry] as the per-instance body — the test seam for
+    exercising the supervisor with injected failures; it must be safe to
+    call concurrently from multiple domains. *)

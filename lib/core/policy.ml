@@ -42,6 +42,24 @@ let decide t ~input_id ~packets =
       in
       `At idx
 
+(* Checkpoint support: a policy is its rng state plus the aggressive
+   cursor table, serialized as sorted (input_id, index) pairs so the
+   rendering is canonical whatever the table's internal order. *)
+
+type state = { st_rng : int64; st_cursor : (int * int) list }
+
+let checkpoint_state t =
+  {
+    st_rng = Nyx_sim.Rng.state t.rng;
+    st_cursor =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cursor []);
+  }
+
+let restore_state t s =
+  Nyx_sim.Rng.set_state t.rng s.st_rng;
+  Hashtbl.reset t.cursor;
+  List.iter (fun (k, v) -> Hashtbl.replace t.cursor k v) s.st_cursor
+
 let notify_no_news t ~input_id =
   match t.kind with
   | None_ | Balanced -> ()

@@ -34,3 +34,13 @@ val decide : t -> input_id:int -> packets:int -> [ `Root | `At of int ]
 val notify_no_news : t -> input_id:int -> unit
 (** Aggressive only: the last reuse round for this input found nothing —
     move its snapshot index one packet earlier. *)
+
+(** {2 Checkpoint support} *)
+
+type state = {
+  st_rng : int64;  (** policy RNG state *)
+  st_cursor : (int * int) list;  (** aggressive cursor, sorted by input id *)
+}
+
+val checkpoint_state : t -> state
+val restore_state : t -> state -> unit

@@ -10,6 +10,15 @@ type crash_report = {
   input : bytes;
 }
 
+type resilience = {
+  faults_injected : int;
+  faults_recovered : int;
+  faults_aborted : int;
+  restarts : int;
+  quarantined : bool;
+  backoff_ns : int;
+}
+
 type campaign_result = {
   fuzzer : string;
   target : string;
@@ -30,6 +39,10 @@ type campaign_result = {
       (* per-phase virtual-time cost breakdown; Some only when the
          campaign ran with profiling requested. Virtual fields are
          deterministic; wall fields informational. *)
+  resilience : resilience option;
+      (* Some only when a fault plan was armed or a fleet supervisor
+         restarted this instance; None -> byte-identical to pre-resilience
+         results. *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes
@@ -41,3 +54,26 @@ let pp_summary ppf r =
     "%s on %s: %d edges, %d execs in %a virtual (%.1f execs/s), %d crash kinds, corpus %d"
     r.fuzzer r.target r.final_edges r.execs Nyx_sim.Clock.pp_duration r.virtual_ns
     r.execs_per_sec (List.length r.crashes) r.corpus_size
+
+let pp_resilience ppf (r : resilience) =
+  Format.fprintf ppf
+    "faults: %d injected, %d recovered, %d aborted; restarts: %d%s; backoff: %a"
+    r.faults_injected r.faults_recovered r.faults_aborted r.restarts
+    (if r.quarantined then " (quarantined)" else "")
+    Nyx_sim.Clock.pp_duration r.backoff_ns
+
+(* Deterministic comparison: everything but the informational wall-clock
+   fields, which legitimately differ between two same-seed runs (and
+   between a straight run and a kill+resume one). *)
+let strip_wall r =
+  let strip_profile (s : Nyx_obs.Profile.snapshot) =
+    {
+      s with
+      Nyx_obs.Profile.entries =
+        List.map (fun e -> { e with Nyx_obs.Profile.wall_s = 0.0 }) s.entries;
+      total_wall_s = 0.0;
+    }
+  in
+  { r with wall_s = 0.0; phase_profile = Option.map strip_profile r.phase_profile }
+
+let same_deterministic a b = strip_wall a = strip_wall b

@@ -19,6 +19,15 @@ type crash_report = {
   input : bytes;  (** serialized reproducer program *)
 }
 
+type resilience = {
+  faults_injected : int;  (** faults the armed plan fired *)
+  faults_recovered : int;  (** faults survived via degradation/recovery *)
+  faults_aborted : int;  (** [injected - recovered]: faults that ended the run *)
+  restarts : int;  (** fleet-supervisor restarts of this instance *)
+  quarantined : bool;  (** instance gave up after exhausting its retry budget *)
+  backoff_ns : int;  (** virtual backoff the supervisor charged before retries *)
+}
+
 type campaign_result = {
   fuzzer : string;
   target : string;
@@ -42,6 +51,11 @@ type campaign_result = {
           snapshot-create / cov-merge / trim / other) when the campaign
           ran with profiling on; its virtual times sum to [virtual_ns].
           [None] for baselines and unprofiled campaigns. *)
+  resilience : resilience option;
+      (** fault-injection and supervision counters; [Some] only when a
+          fault plan was armed ([NYX_FAULTS] / [~faults]) or a fleet
+          supervisor restarted the instance. [None] campaigns are
+          byte-identical to pre-resilience results. *)
 }
 
 val crashed : campaign_result -> bool
@@ -50,3 +64,11 @@ val crashed : campaign_result -> bool
 val found_kind : campaign_result -> string -> bool
 
 val pp_summary : Format.formatter -> campaign_result -> unit
+
+val pp_resilience : Format.formatter -> resilience -> unit
+
+val same_deterministic : campaign_result -> campaign_result -> bool
+(** Structural equality over every deterministic field — wall-clock
+    fields (top-level [wall_s] and the profile's wall columns) are
+    masked, since two same-seed runs (or a straight run and a
+    kill+resume one) legitimately differ there. *)

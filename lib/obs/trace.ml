@@ -54,14 +54,43 @@ let dls : dstate Domain.DLS.key =
 
 let flush_threshold = 1 lsl 16
 
+(* Fault hook: make the next file-sink flush fail as if the descriptor
+   had been closed under us. Domain-safe: read/cleared under [sink_mutex]. *)
+let fail_next_flush = ref false
+
+let inject_flush_failure () =
+  Mutex.lock sink_mutex;
+  fail_next_flush := true;
+  Mutex.unlock sink_mutex
+
 let flush_dstate d =
   if Buffer.length d.buf > 0 then begin
     (match !sink with
-    | Some (File chan) ->
+    | Some (File chan) -> (
       Mutex.lock sink_mutex;
-      Buffer.output_buffer chan d.buf;
-      Stdlib.flush chan;
-      Mutex.unlock sink_mutex
+      let result =
+        if !fail_next_flush then begin
+          fail_next_flush := false;
+          Error "injected failure"
+        end
+        else
+          match
+            Buffer.output_buffer chan d.buf;
+            Stdlib.flush chan
+          with
+          | () -> Ok ()
+          | exception Sys_error m -> Error m
+      in
+      (match result with
+      | Ok () -> ()
+      | Error m ->
+        (* Tracing is observational — a dead sink must not kill the
+           campaign. Disable it (so this warns exactly once) and go on. *)
+        close_out_noerr chan;
+        sink := None;
+        Printf.eprintf "nyx_obs: trace sink write failed (%s); tracing disabled\n%!"
+          m);
+      Mutex.unlock sink_mutex)
     | Some (Memory _) | None -> ());
     Buffer.clear d.buf
   end
@@ -194,3 +223,16 @@ let with_memory_sink f =
   let restore () = sink := saved in
   let r = Fun.protect ~finally:restore f in
   (r, List.rev !events)
+
+let with_file_sink path f =
+  let chan = open_out_bin path in
+  let saved = !sink in
+  flush ();
+  sink := Some (File chan);
+  let restore () =
+    flush ();
+    (* The sink may have disabled itself (flush failure closed [chan]). *)
+    (match !sink with Some (File c) when c == chan -> close_out_noerr c | _ -> ());
+    sink := saved
+  in
+  Fun.protect ~finally:restore f

@@ -66,3 +66,13 @@ val with_memory_sink : (unit -> 'a) -> 'a * event list
     return the events emitted (in emission order). Test-only: replaces
     any file sink for the duration and restores it afterwards. Events
     from all domains are collected under a mutex. *)
+
+val with_file_sink : string -> (unit -> 'a) -> 'a
+(** Run [f] with tracing armed into a fresh file at [path] (test helper;
+    restores the previous sink and closes the file afterwards). *)
+
+val inject_flush_failure : unit -> unit
+(** Fault hook: the next file-sink flush fails as if the descriptor had
+    been closed. A failed flush never raises into the campaign — the sink
+    disables itself with a single stderr warning and subsequent event
+    sites see tracing off. *)

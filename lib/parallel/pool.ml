@@ -128,17 +128,54 @@ let with_pool ?domains f =
 (* ------------------------------------------------------------------ *)
 (* Ordered maps.                                                       *)
 
+exception Cancelled
+
 let run_tasks ~domains (tasks : (unit -> 'a) array) : ('a, exn) result array =
   let n = Array.length tasks in
-  let wrap task () = try Ok (task ()) with e -> Error e in
-  if domains <= 1 || n <= 1 then Array.map (fun task -> wrap task ()) tasks
+  if domains <= 1 || n <= 1 then begin
+    (* Sequential: stop at the first failure; later tasks never run. *)
+    let results = Array.make n (Error Cancelled) in
+    let failed = ref false in
+    Array.iteri
+      (fun i task ->
+        if not !failed then
+          results.(i) <-
+            (try Ok (task ())
+             with e ->
+               failed := true;
+               Error e))
+      tasks;
+    results
+  end
   else begin
+    (* Cancellation flag: the LOWEST index of a real failure so far.
+       A queued task skips itself only when a lower-indexed task already
+       failed, so the first Error slot in the results is always a real
+       failure — never a cancellation — whatever order the domains ran
+       the tasks in. (A boolean flag would let a later failure cancel an
+       earlier task, making the reported index racy.) *)
+    let cancel_from = Atomic.make max_int in
+    let rec note_failure i =
+      let cur = Atomic.get cancel_from in
+      if i < cur && not (Atomic.compare_and_set cancel_from cur i) then
+        note_failure i
+    in
     (* Each slot is written by exactly one task, so plain stores suffice
        under the OCaml memory model; [wait]'s mutex publishes them. *)
     let results = Array.make n None in
     with_pool ~domains:(min domains n) (fun pool ->
         Array.iteri
-          (fun i task -> submit pool (fun () -> results.(i) <- Some (wrap task ())))
+          (fun i task ->
+            submit pool (fun () ->
+                let r =
+                  if Atomic.get cancel_from < i then Error Cancelled
+                  else
+                    try Ok (task ())
+                    with e ->
+                      note_failure i;
+                      Error e
+                in
+                results.(i) <- Some r))
           tasks;
         wait pool);
     Array.map (function Some r -> r | None -> assert false) results

@@ -24,6 +24,11 @@ exception Task_error of { index : int; exn : exn }
 (** Raised by {!map}/{!map_list} when a task raised: the lowest failing
     submission index, carrying the original exception. *)
 
+exception Cancelled
+(** The payload recorded for tasks skipped after an earlier task failed
+    (see the error contract under {!map}). Never escapes {!map} itself —
+    the [Task_error] it raises always carries a real failure. *)
+
 val max_domains : int
 (** Hard cap (48), well under the runtime's ~128-domain limit so nested
     users (a fleet inside a bench) cannot exhaust the budget. *)
@@ -61,7 +66,14 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel map with results in input order.
-    @raise Task_error for the lowest failing index, matching what the
-    sequential run would have raised first. *)
+
+    Error contract: when a task raises, tasks at higher indices that have
+    not started yet are cancelled — they are skipped, not run — and
+    [Task_error] is raised for the lowest {e real} failing index (the
+    index a sequential run would have failed at first; cancellations are
+    never reported). Tasks already running on other domains complete, and
+    their results are discarded. A fleet that must survive individual
+    instance failures should catch inside its tasks instead — see
+    [Fleet.run]'s supervisor. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

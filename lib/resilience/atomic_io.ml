@@ -1,0 +1,26 @@
+(* Atomic file replacement: write a sibling temp file, then rename over
+   the destination. A reader (or a resume after a kill) sees either the
+   old complete file or the new complete file, never a torn write. *)
+
+let write_file path data =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error m ->
+    (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+    Error m
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Bytes.of_string (really_input_string ic (in_channel_length ic)))
+  with
+  | data -> Ok data
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error (path ^ ": truncated read")

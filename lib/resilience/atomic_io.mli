@@ -1,0 +1,11 @@
+(** Crash-safe file writes: temp file + rename.
+
+    POSIX [rename] within a directory is atomic, so a checkpoint file on
+    disk is always a complete, parseable image — a campaign killed in the
+    middle of a checkpoint write leaves the previous checkpoint intact. *)
+
+val write_file : string -> bytes -> (unit, string) result
+(** Write to [path ^ ".tmp"], then rename onto [path]. On error the temp
+    file is removed (best effort) and the destination is untouched. *)
+
+val read_file : string -> (bytes, string) result

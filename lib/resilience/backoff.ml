@@ -1,0 +1,18 @@
+(* Capped exponential backoff in virtual time. Pure: the fleet supervisor
+   accounts these delays in the resilience block rather than spinning a
+   clock (a restarted instance's own clock starts from zero). *)
+
+let delay_ns ~base_ns ~cap_ns ~attempt =
+  if base_ns <= 0 then invalid_arg "Backoff.delay_ns: base must be positive";
+  if cap_ns < base_ns then invalid_arg "Backoff.delay_ns: cap below base";
+  if attempt < 0 then invalid_arg "Backoff.delay_ns: negative attempt";
+  (* 2^attempt * base, saturating at cap without overflow: stop doubling
+     as soon as the cap is reached. *)
+  let rec go d n = if n = 0 || d >= cap_ns then d else go (d * 2) (n - 1) in
+  min cap_ns (go base_ns attempt)
+
+let total_ns ~base_ns ~cap_ns ~attempts =
+  let rec go acc i =
+    if i >= attempts then acc else go (acc + delay_ns ~base_ns ~cap_ns ~attempt:i) (i + 1)
+  in
+  go 0 0

@@ -1,0 +1,10 @@
+(** Capped exponential backoff (virtual time, pure). *)
+
+val delay_ns : base_ns:int -> cap_ns:int -> attempt:int -> int
+(** [delay_ns ~base_ns ~cap_ns ~attempt] is [min cap_ns (base_ns * 2^attempt)]
+    computed without overflow; [attempt] is 0-based.
+    @raise Invalid_argument on a non-positive base, a cap below the base,
+    or a negative attempt. *)
+
+val total_ns : base_ns:int -> cap_ns:int -> attempts:int -> int
+(** Sum of the first [attempts] delays. *)

@@ -1,0 +1,53 @@
+type site =
+  | Snap_corrupt
+  | Restore_fail
+  | Dirty_loss
+  | Guest_wedge
+  | Trace_sink
+
+let all_sites = [ Snap_corrupt; Restore_fail; Dirty_loss; Guest_wedge; Trace_sink ]
+
+let num_sites = List.length all_sites
+
+let site_index = function
+  | Snap_corrupt -> 0
+  | Restore_fail -> 1
+  | Dirty_loss -> 2
+  | Guest_wedge -> 3
+  | Trace_sink -> 4
+
+let site_name = function
+  | Snap_corrupt -> "snap-corrupt"
+  | Restore_fail -> "restore-fail"
+  | Dirty_loss -> "dirty-loss"
+  | Guest_wedge -> "wedge"
+  | Trace_sink -> "trace-sink"
+
+let site_of_name = function
+  | "snap-corrupt" -> Some Snap_corrupt
+  | "restore-fail" -> Some Restore_fail
+  | "dirty-loss" -> Some Dirty_loss
+  | "wedge" -> Some Guest_wedge
+  | "trace-sink" -> Some Trace_sink
+  | _ -> None
+
+type t = {
+  site : site;
+  seq : int;
+  site_seq : int;
+  vns : int;
+}
+
+exception Injected of t
+
+let pp ppf f =
+  Format.fprintf ppf "%s#%d (injection %d, vtime %dns)" (site_name f.site)
+    f.site_seq f.seq f.vns
+
+let () =
+  Printexc.register_printer (function
+    | Injected f ->
+      Some
+        (Printf.sprintf "Fault.Injected(%s#%d seq %d vns %d)" (site_name f.site)
+           f.site_seq f.seq f.vns)
+    | _ -> None)

@@ -1,0 +1,44 @@
+(** Typed faults with provenance.
+
+    Each injection site models one way the real Nyx-Net substrate can
+    misbehave under load: a corrupted incremental snapshot image, a failed
+    snapshot restore, lost dirty-page log entries, a guest that wedges
+    past the hang budget, and a trace sink whose writes start failing.
+    Faults are deterministic — see {!Plan} — and recoverable: the paper's
+    recreate-on-demand semantics (§3.4) means any damaged incremental
+    snapshot can be discarded and rebuilt from the root. *)
+
+type site =
+  | Snap_corrupt  (** incremental snapshot image corrupted at creation *)
+  | Restore_fail  (** incremental snapshot restore fails outright *)
+  | Dirty_loss  (** dirty-page log lost entries: the incremental image is
+                    incomplete (injected in [lib/vm]) *)
+  | Guest_wedge  (** guest wedges beyond the hang budget; the watchdog
+                     resets it at {!Nyx_sim.Cost.guest_wedge} cost *)
+  | Trace_sink  (** trace-sink write failure (observability only) *)
+
+val all_sites : site list
+val num_sites : int
+val site_index : site -> int
+(** Dense index in [0, num_sites), in [all_sites] order. *)
+
+val site_name : site -> string
+(** The spec-syntax name: ["snap-corrupt"], ["restore-fail"],
+    ["dirty-loss"], ["wedge"], ["trace-sink"]. *)
+
+val site_of_name : string -> site option
+
+type t = {
+  site : site;
+  seq : int;  (** plan-wide injection ordinal (0-based) *)
+  site_seq : int;  (** per-site injection ordinal (0-based) *)
+  vns : int;  (** virtual time at which the fault fired *)
+}
+(** One injected fault, with enough provenance to locate it in a trace. *)
+
+exception Injected of t
+(** Raised at a detection point (e.g. restoring a corrupted incremental
+    snapshot). Never escapes the executor: the recovery path catches it,
+    rebuilds from the root snapshot and counts the recovery. *)
+
+val pp : Format.formatter -> t -> unit

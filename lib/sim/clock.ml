@@ -12,6 +12,10 @@ let advance t ns =
 
 let reset t = t.now <- 0
 
+let set_ns t ns =
+  if ns < 0 then invalid_arg "Clock.set_ns: negative time";
+  t.now <- ns
+
 let pp_duration ppf ns =
   let ms = ns / 1_000_000 in
   let s = ms / 1000 in

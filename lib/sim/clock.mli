@@ -24,5 +24,11 @@ val advance : t -> int -> unit
 val reset : t -> unit
 (** Rewind to zero (used between campaign repetitions). *)
 
+val set_ns : t -> int -> unit
+(** Set the clock to an absolute virtual time — used when resuming a
+    checkpointed campaign, which must continue at the exact instant the
+    checkpoint was taken.
+    @raise Invalid_argument if [ns] is negative. *)
+
 val pp_duration : Format.formatter -> int -> unit
 (** Render a nanosecond duration as a human-readable [HH:MM:SS.mmm]. *)

@@ -15,6 +15,11 @@ let cleanup_script = 30_000_000
 let fork = 400_000
 let spawn = 2_000_000
 
+(* A guest that wedges burns the executor's whole hang budget before the
+   watchdog gives up and resets — the worst-case per-execution price of a
+   misbehaving target (injected by Nyx_resilience fault plans). *)
+let guest_wedge = 30_000_000
+
 let page_copy = 700
 let dirty_stack_entry = 16
 let bitmap_scan_per_page = 2

@@ -60,6 +60,10 @@ val fork : int
 val spawn : int
 (** Spawning a process from scratch, excluding target-specific startup. *)
 
+val guest_wedge : int
+(** A wedged guest burning the executor's whole hang budget before the
+    watchdog resets it (injected by [Nyx_resilience] fault plans). *)
+
 (** {1 Snapshots (Figure 6 cost structure)} *)
 
 val page_copy : int

@@ -14,6 +14,9 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+let state t = t.state
+let set_state t s = t.state <- s
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Mask to 62 bits: Int64.to_int keeps the low 63 bits, so a raw

@@ -13,6 +13,14 @@ val create : int -> t
 val split : t -> t
 (** An independent generator derived from (and advancing) [t]. *)
 
+val state : t -> int64
+(** The full internal splitmix64 state — everything a generator is.
+    Saved by campaign checkpoints so a resumed run replays the exact
+    draw sequence. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the internal state with one captured by {!state}. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)

@@ -18,6 +18,10 @@ type t = {
   mutable inc_device : bytes option;
   mutable inc_aux : Aux_state.capture option;
   mutable active : bool;
+  mutable pending : Nyx_resilience.Fault.t list;
+      (* latent faults on the active incremental snapshot (injected at
+         creation or at a failed restore); detected — raised — at the
+         next incremental restore, retired as recovered by restore_root *)
   mutable s_root_restores : int;
   mutable s_inc_creates : int;
   mutable s_inc_restores : int;
@@ -37,6 +41,7 @@ let create ?(remirror_interval = 2000) vm aux =
     inc_device = None;
     inc_aux = None;
     active = false;
+    pending = [];
     s_root_restores = 0;
     s_inc_creates = 0;
     s_inc_restores = 0;
@@ -99,6 +104,21 @@ let take_incremental t =
   t.active <- true;
   t.creates_since_remirror <- t.creates_since_remirror + 1;
   t.s_inc_creates <- t.s_inc_creates + 1;
+  (* Fault injection (simulated — the image data is not actually damaged,
+     the engine just behaves as if it were): a corrupted image or a lossy
+     dirty log leaves a latent fault on this incremental snapshot,
+     detected at its next restore. *)
+  (match Vm.faults t.vm with
+  | None -> ()
+  | Some plan -> (
+    (match
+       Nyx_resilience.Plan.fire plan Nyx_resilience.Fault.Snap_corrupt ~vns:(vnow t)
+     with
+    | Some f -> t.pending <- t.pending @ [ f ]
+    | None -> ());
+    match Vm.dirty_loss_fault t.vm with
+    | Some f -> t.pending <- t.pending @ [ f ]
+    | None -> ()));
   if Nyx_obs.Trace.on () then
     Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-create"
       [
@@ -131,6 +151,16 @@ let restore_incremental t =
 
 let restore_root t =
   let trace_v0 = vnow t and trace_p0 = t.s_pages_restored in
+  (* Discarding the faulted incremental and rebuilding from the root IS
+     the paper's recreate-on-demand recovery (§3.4): retire any latent
+     faults as recovered. The internal restore_incremental step below is
+     still usable — the corruption is simulated, not real damage. *)
+  if t.pending <> [] then begin
+    (match Vm.faults t.vm with
+    | Some plan -> List.iter (Nyx_resilience.Plan.record_recovered plan) t.pending
+    | None -> ());
+    t.pending <- []
+  end;
   if t.active then begin
     (* First reset the suffix writes to the incremental image, then revert
        every mirror entry to root content. Together this puts guest memory
@@ -163,17 +193,31 @@ let restore_root t =
 
 let restore t =
   if t.active then begin
-    let trace_v0 = vnow t and trace_p0 = t.s_pages_restored in
-    restore_incremental t;
-    if Nyx_obs.Trace.on () then
-      Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-restore"
-        [
-          ("mode", Nyx_obs.Trace.Str "incremental");
-          ("pages", Nyx_obs.Trace.Int (t.s_pages_restored - trace_p0));
-          ("cost_ns", Nyx_obs.Trace.Int (vnow t - trace_v0));
-        ]
+    (* Restore itself can fail (the incremental image unreadable at load
+       time); detection happens here, before any engine state mutates, so
+       the caller sees a consistent engine it can hand to restore_root. *)
+    (match Vm.faults t.vm with
+    | None -> ()
+    | Some plan -> (
+      match Nyx_resilience.Plan.fire plan Nyx_resilience.Fault.Restore_fail ~vns:(vnow t) with
+      | Some f -> t.pending <- t.pending @ [ f ]
+      | None -> ()));
+    match t.pending with
+    | f :: _ -> raise (Nyx_resilience.Fault.Injected f)
+    | [] ->
+      let trace_v0 = vnow t and trace_p0 = t.s_pages_restored in
+      restore_incremental t;
+      if Nyx_obs.Trace.on () then
+        Nyx_obs.Trace.instant ~vns:(vnow t) "snapshot-restore"
+          [
+            ("mode", Nyx_obs.Trace.Str "incremental");
+            ("pages", Nyx_obs.Trace.Int (t.s_pages_restored - trace_p0));
+            ("cost_ns", Nyx_obs.Trace.Int (vnow t - trace_v0));
+          ]
   end
   else restore_root t
+
+let pending t = t.pending
 
 let stats t =
   {
@@ -186,3 +230,47 @@ let stats t =
 
 let mirror_pages t = Hashtbl.length t.mirror
 let root_stored_bytes t = Root.stored_bytes t.root
+
+(* Checkpoint support. Persist only what later behavior can observe: the
+   mirror KEY set (every entry's content is overwritten at the next
+   take_incremental — stale entries from root, dirty ones from memory —
+   before any restore reads it), the re-mirror/stat counters, and the
+   dirty STACK order (Root.restore overwrites dirty page contents from the
+   root image; only the per-entry cost charges depend on the stack). *)
+
+type persisted = {
+  p_mirror : int list;  (* sorted pfns *)
+  p_creates_since_remirror : int;
+  p_stats : stats;
+  p_dirty : int list;  (* pfns in dirtying order *)
+}
+
+let checkpoint t =
+  if t.active then invalid_arg "Engine.checkpoint: incremental snapshot active";
+  {
+    p_mirror =
+      List.sort compare (Hashtbl.fold (fun pfn _ acc -> pfn :: acc) t.mirror []);
+    p_creates_since_remirror = t.creates_since_remirror;
+    p_stats = stats t;
+    p_dirty = Dirty_log.to_list (Memory.dirty t.vm.mem);
+  }
+
+(* Cost-free: the restored clock value already includes every charge the
+   original run paid to build this state. *)
+let restore_checkpoint t p =
+  if t.active then
+    invalid_arg "Engine.restore_checkpoint: incremental snapshot active";
+  Hashtbl.reset t.mirror;
+  List.iter
+    (fun pfn ->
+      Hashtbl.replace t.mirror pfn (Bytes.copy (root_page_or_zero t pfn)))
+    p.p_mirror;
+  t.creates_since_remirror <- p.p_creates_since_remirror;
+  t.s_root_restores <- p.p_stats.root_restores;
+  t.s_inc_creates <- p.p_stats.incremental_creates;
+  t.s_inc_restores <- p.p_stats.incremental_restores;
+  t.s_pages_restored <- p.p_stats.pages_restored;
+  t.s_remirrors <- p.p_stats.remirrors;
+  let dirty = Memory.dirty t.vm.mem in
+  Dirty_log.clear dirty;
+  List.iter (fun pfn -> ignore (Dirty_log.mark dirty pfn)) p.p_dirty

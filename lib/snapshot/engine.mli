@@ -36,11 +36,23 @@ val take_incremental : t -> unit
 
 val restore : t -> unit
 (** Reset the VM to the active snapshot: the incremental one when present,
-    the root otherwise. This is the per-test-case reset. *)
+    the root otherwise. This is the per-test-case reset.
+    @raise Nyx_resilience.Fault.Injected
+      when the VM has a fault plan armed and the active incremental
+      snapshot carries a latent fault (corrupted at creation, lossy dirty
+      log, or a restore failure injected now). The engine state is left
+      untouched; recover by calling {!restore_root}, which discards the
+      faulted incremental and rebuilds from the root — the paper's
+      recreate-on-demand path (§3.4). *)
 
 val restore_root : t -> unit
 (** Discard the incremental snapshot (if any) and reset to the root —
-    what happens when the fuzzer schedules the next input. *)
+    what happens when the fuzzer schedules the next input. Retires any
+    pending injected faults as recovered. *)
+
+val pending : t -> Nyx_resilience.Fault.t list
+(** Latent injected faults on the active incremental snapshot (empty when
+    no fault plan is armed). *)
 
 val stats : t -> stats
 
@@ -52,3 +64,24 @@ val root_stored_bytes : t -> int
 (** Bytes held by the (shareable, immutable) root image — the quantity
     behind the §5.3 scalability claim that 80 instances need ~2× the
     memory of one. *)
+
+(** {2 Checkpoint support}
+
+    An engine's observable state between executions reduces to the mirror
+    key set, the counters, and the dirty-stack order; page contents are
+    always overwritten before they are next read. *)
+
+type persisted = {
+  p_mirror : int list;  (** mirror pfns, sorted *)
+  p_creates_since_remirror : int;
+  p_stats : stats;
+  p_dirty : int list;  (** dirty pfns, in dirtying order *)
+}
+
+val checkpoint : t -> persisted
+(** @raise Invalid_argument if an incremental snapshot is active. *)
+
+val restore_checkpoint : t -> persisted -> unit
+(** Re-establish a checkpointed engine state on a freshly booted engine
+    for the same target. Cost-free: the caller restores the virtual clock
+    separately. @raise Invalid_argument if an incremental is active. *)

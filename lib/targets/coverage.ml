@@ -178,4 +178,15 @@ module Cumulative = struct
       if Bytes.get t.virgin i <> '\000' then incr n
     done;
     !n
+
+  (* Checkpoint support: the virgin map is the whole state ([edges] is
+     derived from it, recomputed on load). *)
+
+  let state_bytes t = Bytes.copy t.virgin
+
+  let load_state t b =
+    if Bytes.length b <> map_size then
+      invalid_arg "Coverage.Cumulative.load_state: wrong map size";
+    Bytes.blit b 0 t.virgin 0 map_size;
+    t.edges <- edge_count_slow t
 end

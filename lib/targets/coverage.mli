@@ -87,4 +87,12 @@ module Cumulative : sig
 
   val edge_count_slow : t -> int
   (** Reference implementation: O(map) full scan. *)
+
+  val state_bytes : t -> bytes
+  (** Copy of the virgin map — the complete cumulative state, for
+      campaign checkpoints. *)
+
+  val load_state : t -> bytes -> unit
+  (** Overwrite the virgin map and recompute the edge count.
+      @raise Invalid_argument if the buffer is not [map_size] bytes. *)
 end

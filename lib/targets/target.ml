@@ -67,19 +67,44 @@ let boot t ctx =
     | None -> ()));
   { t; rt_ctx = ctx; g; conns; listen_fd = fd }
 
-let max_pump_iterations = 4096
+(* Event-loop iteration budget before the pump declares the guest wedged.
+   Overridable via NYX_HANG_BUDGET (read once at load, like NYX_DOMAINS)
+   for targets whose event loops legitimately need more rounds. *)
+let default_hang_budget = 4096
+
+let env_hang_budget =
+  match Sys.getenv_opt "NYX_HANG_BUDGET" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+(* In-process override for tests (beats the environment). Domain-safe:
+   set before any campaign runs, read-only from worker domains. *)
+let hang_budget_override : int option ref = ref None
+
+let set_hang_budget_override n = hang_budget_override := n
+
+let hang_budget () =
+  match !hang_budget_override with
+  | Some n -> n
+  | None -> ( match env_hang_budget with Some n -> n | None -> default_hang_budget)
 
 let pump rt =
   let ctx = rt.rt_ctx in
   let net = ctx.Ctx.net in
   let hooks = rt.t.hooks in
   let info = rt.t.info in
+  let budget = hang_budget () in
   let iterations = ref 0 in
   let continue = ref true in
   while !continue do
     incr iterations;
-    if !iterations > max_pump_iterations then
-      Ctx.crash ctx ~kind:"hang" "event loop did not quiesce";
+    if !iterations > budget then
+      Ctx.crash ctx ~kind:"hang"
+        (Printf.sprintf "event loop did not quiesce within %d iterations (hang budget)"
+           budget);
     match Net.poll net with
     | None -> continue := false
     | Some (`Accept fd) -> (

@@ -56,6 +56,17 @@ val boot : t -> Ctx.t -> runtime
     guest heap, run [on_init], create and bind the listening socket. The
     root snapshot is taken after this returns. *)
 
+val hang_budget : unit -> int
+(** Event-loop iteration budget before {!pump} declares the guest wedged:
+    the in-process override if set, else [NYX_HANG_BUDGET] (read once at
+    load; positive integers only), else 4096. The budget used is embedded
+    in the ["hang"] crash's detail string. *)
+
+val set_hang_budget_override : int option -> unit
+(** Test hook: force {!hang_budget} regardless of the environment
+    ([None] returns to the environment/default). Set it before any
+    campaign domain runs. *)
+
 val pump : runtime -> unit
 (** Drain all pending events (accepts, packets, EOFs) until the server
     would block. Crashes propagate as {!Ctx.Crash},

@@ -10,6 +10,7 @@ type t = {
   device : Device_state.t;
   disk : Disk.t;
   clock : Nyx_sim.Clock.t;
+  mutable faults : Nyx_resilience.Plan.t option;
 }
 
 let create ?(config = fuzz_config) clock =
@@ -20,6 +21,22 @@ let create ?(config = fuzz_config) clock =
     device = Device_state.create ~size:config.device_size;
     disk = Disk.create ~sectors:config.disk_sectors clock;
     clock;
+    faults = None;
   }
+
+let arm_faults t plan = t.faults <- Some plan
+
+let faults t = t.faults
+
+(* The dirty-page log is the VM-layer structure the snapshot engine trusts
+   to enumerate what changed; losing entries from it silently truncates
+   the next incremental snapshot. This is the lib/vm injection point — the
+   engine consults it while copying the dirty set. *)
+let dirty_loss_fault t =
+  match t.faults with
+  | None -> None
+  | Some plan ->
+    Nyx_resilience.Plan.fire plan Nyx_resilience.Fault.Dirty_loss
+      ~vns:(Nyx_sim.Clock.now_ns t.clock)
 
 let dirty_pages t = Dirty_log.count (Memory.dirty t.mem)

@@ -23,11 +23,26 @@ type t = {
   device : Device_state.t;
   disk : Disk.t;
   clock : Nyx_sim.Clock.t;
+  mutable faults : Nyx_resilience.Plan.t option;
+      (** armed fault-injection plan, if any (see {!arm_faults}) *)
 }
 
 val create : ?config:config -> Nyx_sim.Clock.t -> t
 (** Fresh VM with all-zero memory ([config] defaults to
-    {!fuzz_config}). *)
+    {!fuzz_config}); no fault plan armed. *)
+
+val arm_faults : t -> Nyx_resilience.Plan.t -> unit
+(** Attach a deterministic fault plan. The VM and the layers above it
+    (snapshot engine, executor) consult it at their instrumented points;
+    with no plan armed every consultation is one option branch. *)
+
+val faults : t -> Nyx_resilience.Plan.t option
+
+val dirty_loss_fault : t -> Nyx_resilience.Fault.t option
+(** Consult the plan's [Dirty_loss] site at the current virtual time —
+    the VM-layer injection point, fired while the snapshot engine copies
+    the dirty-page set (a lost log entry silently truncates the
+    incremental image). [None] when no plan is armed. *)
 
 val dirty_pages : t -> int
 (** Pages dirtied since the last {!Memory.clear_dirty}. *)

@@ -327,6 +327,7 @@ let test_median_result () =
       snapshot_stats = None;
       wall_s = 0.0;
       phase_profile = None;
+      resilience = None;
     }
   in
   check_int "median of three" 20
@@ -358,6 +359,7 @@ let test_report_helpers () =
       snapshot_stats = None;
       wall_s = 0.0;
       phase_profile = None;
+      resilience = None;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);
