@@ -31,7 +31,7 @@ check:
 	dune build @all && dune runtest
 	$(MAKE) lint
 	NYX_SANITIZE=1 dune runtest --force
-	NYX_DOMAINS=4 NYX_BENCH_SMOKE_BUDGET_S=1 NYX_BENCH_FLEET=2 dune exec bench/main.exe -- parallel_smoke
+	NYX_DOMAINS=4 dune exec bench/main.exe -- parallel_smoke --budget 1 --sync-ms 100
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 	$(MAKE) faultcheck
 
@@ -57,10 +57,12 @@ ci-local:
 	$(MAKE) check
 	$(MAKE) profile
 
-# Tiny-budget parallel smoke bench: measures the NYX_DOMAINS speedup on
-# small fleets, checks parallel==sequential, writes BENCH_parallel.json.
+# Shared-corpus fleet scaling bench on the full multi-second budget:
+# synced fleets at N in {2,4}, 1 domain vs N, deterministic
+# work/makespan speedup gated at >= 0.7*N, parallel==sequential
+# asserted, corpus-dedup experiment included; writes BENCH_parallel.json.
 bench-smoke:
-	NYX_BENCH_SMOKE_BUDGET_S=2 NYX_BENCH_FLEET=4 dune exec bench/main.exe -- parallel_smoke
+	NYX_BENCH_SCALE_GATE=0.7 dune exec bench/main.exe -- parallel_smoke
 
 # Coverage-bound hot-loop bench: journaled coverage + O(1) scheduling vs
 # the before-style full-scan paths; writes BENCH_hotpath.json.

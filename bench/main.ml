@@ -2,10 +2,15 @@
    paper's evaluation (see DESIGN.md §3 for the experiment index and
    EXPERIMENTS.md for recorded paper-vs-measured results).
 
-   Usage:  dune exec bench/main.exe [-- EXPERIMENT...]
+   Usage:  dune exec bench/main.exe [-- EXPERIMENT... [--budget S] [--sync-ms MS]]
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
                 ablation_remirror bechamel parallel_smoke hotpath all
+   Flags:
+     --budget S      parallel_smoke virtual budget in seconds
+                     (default NYX_BENCH_SMOKE_BUDGET_S, then 10)
+     --sync-ms MS    parallel_smoke corpus-sync interval in virtual ms
+                     (default NYX_BENCH_SMOKE_SYNC_MS, then 250)
    Environment:
      NYX_BENCH_BUDGET_S    virtual seconds per campaign (default 20)
      NYX_BENCH_REPS        repetitions per cell (default 1; paper used 10)
@@ -18,8 +23,10 @@
                            Tables and CSVs are byte-identical either way:
                            cells are deterministic functions of the seed
                            and results merge in submission order.
-     NYX_BENCH_FLEET       instances for parallel_smoke fleets (default 4)
-     NYX_BENCH_SMOKE_BUDGET_S  virtual budget for parallel_smoke (default 5)
+     NYX_BENCH_SMOKE_BUDGET_S  virtual budget for parallel_smoke (default 10)
+     NYX_BENCH_SMOKE_SYNC_MS   corpus-sync interval for parallel_smoke (default 250)
+     NYX_BENCH_SCALE_GATE  if set (e.g. "0.7"), parallel_smoke fails when any
+                           fleet size N scores mean speedup < gate * N
      NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
      NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000) *)
 
@@ -27,6 +34,14 @@ open Nyx_core
 
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+(* Command-line flags. Domain-safety invariant (domain-safe): written
+   once during argv parsing in [main], before any worker domain exists;
+   read-only afterwards. *)
+let flag_budget_s : int option ref = ref None
+
+(* domain-safe: same write-once-before-domains invariant as above. *)
+let flag_sync_ms : int option ref = ref None
 
 let budget_ns = env_int "NYX_BENCH_BUDGET_S" 30 * 1_000_000_000
 let reps = env_int "NYX_BENCH_REPS" 1
@@ -832,82 +847,241 @@ let faster_than_light () =
   | None -> Printf.printf "  fleet did not solve within the budget\n")
 
 (* ------------------------------------------------------------------ *)
-(* Parallel smoke: domain-pool speedup measurement + determinism check. *)
+(* Parallel smoke: NYX_DOMAINS scaling gate for the shared-corpus fleet.
+
+   For each fleet size N in {2, 4} the synced fleet runs twice — once on
+   1 domain, once on N — and must produce bit-identical deterministic
+   results. Speedup is the fleet's deterministic scaling model,
+   work_ns / makespan_ns (per-epoch instance segments list-scheduled
+   onto N workers; see Fleet's mli): reproducible on any host, honest
+   about stragglers and sync charges. Real wall execs/s for both runs
+   ride along as informational columns. A dedup experiment then compares
+   the synced fleet against an observer fleet (same epoch stepping, no
+   imports): execs needed to reach a full-budget sequential campaign's
+   coverage frontier. *)
+
+let fleet_core (o : Fleet.outcome) =
+  ( o.Fleet.instances,
+    o.Fleet.first_solve_ns,
+    o.Fleet.solves,
+    o.Fleet.total_execs,
+    o.Fleet.restarts,
+    o.Fleet.quarantined,
+    o.Fleet.union_edges,
+    o.Fleet.sync_epochs,
+    o.Fleet.work_ns )
+
+let same_fleet a b =
+  fleet_core a = fleet_core b
+  && List.length a.Fleet.results = List.length b.Fleet.results
+  && List.for_all2 Report.same_deterministic a.Fleet.results b.Fleet.results
+
+(* Fraction of fleet virtual time spent in the corpus-sync phase,
+   summed over the per-instance profiles. *)
+let sync_share (o : Fleet.outcome) =
+  let total = ref 0 and sync = ref 0 in
+  List.iter
+    (fun r ->
+      match r.Report.phase_profile with
+      | None -> ()
+      | Some s ->
+        total := !total + s.Nyx_obs.Profile.total_virtual_ns;
+        List.iter
+          (fun e ->
+            if e.Nyx_obs.Profile.phase = Nyx_obs.Profile.Corpus_sync then
+              sync := !sync + e.Nyx_obs.Profile.virtual_ns)
+          s.Nyx_obs.Profile.entries)
+    o.Fleet.results;
+  if !total = 0 then 0.0 else float_of_int !sync /. float_of_int !total
+
+(* First sync epoch whose union map reaches [frontier] edges, as
+   (epoch ordinal, fleet execs spent by then). *)
+let execs_to_frontier (o : Fleet.outcome) frontier =
+  List.find_map
+    (fun (e : Fleet.sync_epoch) ->
+      if e.Fleet.se_union_edges >= frontier then
+        Some (e.Fleet.se_epoch, e.Fleet.se_total_execs)
+      else None)
+    o.Fleet.sync_epochs
 
 let parallel_smoke () =
-  Printf.printf "\n== Parallel smoke: fleet wall-clock, sequential vs domain pool ==\n\n";
-  let domains = Nyx_parallel.Pool.default_domains () in
-  let instances = env_int "NYX_BENCH_FLEET" 4 in
-  let budget_ns = env_int "NYX_BENCH_SMOKE_BUDGET_S" 5 * 1_000_000_000 in
+  Printf.printf "\n== Parallel smoke: shared-corpus fleet scaling (NYX_DOMAINS gate) ==\n\n";
+  let budget_s =
+    match !flag_budget_s with
+    | Some s -> s
+    | None -> env_int "NYX_BENCH_SMOKE_BUDGET_S" 10
+  in
+  let sync_ms =
+    match !flag_sync_ms with
+    | Some m -> m
+    | None -> env_int "NYX_BENCH_SMOKE_SYNC_MS" 250
+  in
+  let budget_ns = budget_s * 1_000_000_000 in
+  let sync_ns = sync_ms * 1_000_000 in
   let config =
     {
       Campaign.default_config with
       Campaign.budget_ns;
-      max_execs = 5_000;
+      max_execs = 200_000;
       policy = Policy.Balanced;
       seed = 1;
     }
   in
-  Printf.printf "  domains=%d (recommended=%d), %d instances, %ds virtual budget\n\n"
-    domains
-    (Domain.recommended_domain_count ())
-    instances (budget_ns / 1_000_000_000);
-  Printf.printf "%-12s %12s %12s %9s %10s\n" "target" "seq wall (s)" "par wall (s)"
-    "speedup" "identical";
-  let rows =
+  let targets = [ "echo"; "lightftp" ] in
+  Printf.printf "  %ds virtual budget, sync every %dms, targets: %s\n\n" budget_s
+    sync_ms (String.concat " " targets);
+  let scaling =
     List.map
-      (fun name ->
-        let entry = Option.get (Nyx_targets.Registry.find name) in
-        let seq = Fleet.run ~instances ~domains:1 ~config entry in
-        let par = Fleet.run ~instances ~domains ~config entry in
-        let identical =
-          seq.Fleet.first_solve_ns = par.Fleet.first_solve_ns
-          && seq.Fleet.solves = par.Fleet.solves
-          && seq.Fleet.total_execs = par.Fleet.total_execs
+      (fun n ->
+        Printf.printf "  -- fleet size N=%d: 1 domain vs %d domains --\n" n n;
+        Printf.printf "%-12s %8s %12s %12s %12s %12s %8s %10s\n" "target" "speedup"
+          "seq wall (s)" "par wall (s)" "seq execs/s" "par execs/s" "sync" "identical";
+        let rows =
+          List.map
+            (fun name ->
+              let entry = Option.get (Nyx_targets.Registry.find name) in
+              let seq =
+                Fleet.run ~instances:n ~domains:1 ~sync_ns ~profile:true ~config entry
+              in
+              let par =
+                Fleet.run ~instances:n ~domains:n ~sync_ns ~profile:true ~config entry
+              in
+              let identical = same_fleet seq par in
+              let speedup =
+                float_of_int par.Fleet.work_ns
+                /. float_of_int (max 1 par.Fleet.makespan_ns)
+              in
+              let eps (o : Fleet.outcome) =
+                float_of_int o.Fleet.total_execs /. Float.max 1e-9 o.Fleet.wall_s
+              in
+              let share = sync_share par in
+              Printf.printf "%-12s %7.2fx %12.3f %12.3f %12.0f %12.0f %7.2f%% %10b\n%!"
+                name speedup seq.Fleet.wall_s par.Fleet.wall_s (eps seq) (eps par)
+                (100.0 *. share) identical;
+              (name, seq, par, speedup, share, identical))
+            targets
         in
-        let speedup = seq.Fleet.wall_s /. Float.max 1e-9 par.Fleet.wall_s in
-        Printf.printf "%-12s %12.3f %12.3f %8.2fx %10b\n%!" name seq.Fleet.wall_s
-          par.Fleet.wall_s speedup identical;
-        (name, seq.Fleet.wall_s, par.Fleet.wall_s, speedup, identical))
-      [ "echo"; "lightftp" ]
+        let mean =
+          List.fold_left (fun acc (_, _, _, s, _, _) -> acc +. s) 0.0 rows
+          /. float_of_int (List.length rows)
+        in
+        Printf.printf "  N=%d mean speedup: %.2fx (ideal %d.00x)\n\n" n mean n;
+        (n, rows, mean))
+      [ 2; 4 ]
   in
+  let all_identical =
+    List.for_all
+      (fun (_, rows, _) -> List.for_all (fun (_, _, _, _, _, i) -> i) rows)
+      scaling
+  in
+  (* Corpus dedup: on lightftp, how many fleet execs until the union map
+     reaches the coverage a single full-budget sequential campaign ends
+     at? The observer fleet (sync_import:false) is the controlled
+     baseline: identical epoch stepping, no sharing. *)
+  let dedup_n = 4 in
+  let dedup_target = "lightftp" in
+  let entry = Option.get (Nyx_targets.Registry.find dedup_target) in
+  let frontier = (Campaign.run config entry).Report.final_edges in
+  let synced =
+    match List.assoc_opt dedup_n (List.map (fun (n, r, m) -> (n, (r, m))) scaling) with
+    | Some (rows, _) ->
+      let _, _, par, _, _, _ =
+        List.find (fun (name, _, _, _, _, _) -> name = dedup_target) rows
+      in
+      par
+    | None -> Fleet.run ~instances:dedup_n ~domains:1 ~sync_ns ~config entry
+  in
+  let observer =
+    Fleet.run ~instances:dedup_n ~domains:1 ~sync_ns ~sync_import:false ~config entry
+  in
+  let synced_hit = execs_to_frontier synced frontier in
+  let observer_hit = execs_to_frontier observer frontier in
+  let pp_hit = function
+    | Some (epoch, execs) -> Printf.sprintf "%d execs (epoch %d)" execs epoch
+    | None -> "not reached"
+  in
+  Printf.printf
+    "  dedup (%s, N=%d): sequential frontier %d edges\n\
+    \    synced fleet:   %s\n\
+    \    observer fleet: %s\n\n"
+    dedup_target dedup_n frontier (pp_hit synced_hit) (pp_hit observer_hit);
   let mean_speedup =
-    List.fold_left (fun acc (_, _, _, s, _) -> acc +. s) 0.0 rows
-    /. float_of_int (List.length rows)
+    match List.rev scaling with (_, _, m) :: _ -> m | [] -> 0.0
   in
-  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
-  Printf.printf "\n  mean speedup %.2fx on %d domains; parallel==sequential: %b\n"
-    mean_speedup domains all_identical;
+  Printf.printf "  mean speedup %.2fx at N=4; parallel==sequential: %b\n" mean_speedup
+    all_identical;
+  let hit_json = function
+    | Some (epoch, execs) ->
+      Printf.sprintf "{\"reached\": true, \"execs\": %d, \"epoch\": %d}" execs epoch
+    | None -> "{\"reached\": false}"
+  in
   let json =
     Printf.sprintf
       "{\n\
-      \  \"domains\": %d,\n\
-      \  \"recommended_domains\": %d,\n\
-      \  \"instances\": %d,\n\
       \  \"virtual_budget_s\": %d,\n\
-      \  \"targets\": [\n%s\n\
+      \  \"sync_interval_ms\": %d,\n\
+      \  \"scaling\": [\n%s\n\
       \  ],\n\
+      \  \"dedup\": {\n\
+      \    \"target\": %S,\n\
+      \    \"instances\": %d,\n\
+      \    \"sequential_frontier_edges\": %d,\n\
+      \    \"synced\": %s,\n\
+      \    \"observer\": %s\n\
+      \  },\n\
       \  \"mean_speedup\": %.3f,\n\
       \  \"parallel_identical_to_sequential\": %b\n\
        }"
-      domains
-      (Domain.recommended_domain_count ())
-      instances (budget_ns / 1_000_000_000)
+      budget_s sync_ms
       (String.concat ",\n"
          (List.map
-            (fun (name, seq_s, par_s, speedup, identical) ->
+            (fun (n, rows, mean) ->
               Printf.sprintf
-                "    {\"target\": %S, \"seq_wall_s\": %.4f, \"par_wall_s\": %.4f, \
-                 \"speedup\": %.3f, \"identical\": %b}"
-                name seq_s par_s speedup identical)
-            rows))
+                "    {\"n\": %d, \"mean_speedup\": %.3f, \"targets\": [\n%s\n    ]}"
+                n mean
+                (String.concat ",\n"
+                   (List.map
+                      (fun (name, seq, par, speedup, share, identical) ->
+                        let eps (o : Fleet.outcome) =
+                          float_of_int o.Fleet.total_execs
+                          /. Float.max 1e-9 o.Fleet.wall_s
+                        in
+                        Printf.sprintf
+                          "      {\"target\": %S, \"speedup\": %.3f, \
+                           \"work_ns\": %d, \"makespan_ns\": %d, \
+                           \"seq_wall_s\": %.4f, \"par_wall_s\": %.4f, \
+                           \"seq_execs_per_wall_s\": %.0f, \
+                           \"par_execs_per_wall_s\": %.0f, \
+                           \"sync_share\": %.4f, \"identical\": %b}"
+                          name speedup par.Fleet.work_ns par.Fleet.makespan_ns
+                          seq.Fleet.wall_s par.Fleet.wall_s (eps seq) (eps par)
+                          share identical)
+                      rows)))
+            scaling))
+      dedup_target dedup_n frontier (hit_json synced_hit) (hit_json observer_hit)
       mean_speedup all_identical
   in
   let path = "BENCH_parallel.json" in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc (json ^ "\n"));
-  Printf.printf "  [json] %s\n" path
+  Printf.printf "  [json] %s\n" path;
+  if not all_identical then
+    failwith "parallel_smoke: fleet results differ across domain counts";
+  match Sys.getenv_opt "NYX_BENCH_SCALE_GATE" with
+  | None -> ()
+  | Some g -> (
+    match float_of_string_opt g with
+    | None -> failwith ("parallel_smoke: bad NYX_BENCH_SCALE_GATE " ^ g)
+    | Some gate ->
+      List.iter
+        (fun (n, _, mean) ->
+          if mean < gate *. float_of_int n then
+            failwith
+              (Printf.sprintf
+                 "parallel_smoke: N=%d mean speedup %.2fx below gate %.2f*N=%.2fx" n
+                 mean gate (gate *. float_of_int n)))
+        scaling)
 
 (* ------------------------------------------------------------------ *)
 (* Hotpath: O(touched) journaled coverage + O(1) corpus scheduling vs
@@ -1297,7 +1471,30 @@ let experiments =
 let matrix_experiments = [ "table1"; "table2"; "table3"; "table5"; "fig5" ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--budget" | "--sync-ms") :: [] ->
+      Printf.eprintf "missing value for flag\n";
+      exit 1
+    | "--budget" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some s when s > 0 ->
+        flag_budget_s := Some s;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "--budget expects a positive integer, got %S\n" v;
+        exit 1)
+    | "--sync-ms" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some m when m > 0 ->
+        flag_sync_ms := Some m;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "--sync-ms expects a positive integer, got %S\n" v;
+        exit 1)
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let args = if args = [] || args = [ "all" ] then List.map fst experiments else args in
   Printf.printf
     "Nyx-Net benchmark harness: budget=%ds (virtual), reps=%d, max_execs=%d\n%!"

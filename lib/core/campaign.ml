@@ -39,6 +39,17 @@ let checkpointing ?on_write ~path ~interval_ns () =
     invalid_arg "Campaign.checkpointing: interval_ns must be positive";
   { ck_path = path; ck_interval_ns = interval_ns; ck_on_write = on_write }
 
+(* A program worth sharing with fleet peers: it grew this campaign's
+   corpus, and its saved coverage map lets peers judge novelty against
+   their own (or a fleet-wide) virgin map without re-executing it. *)
+type export = {
+  ex_program : Nyx_spec.Program.t;  (* post-trim, snapshot-stripped *)
+  ex_cov : Coverage.checkpoint;  (* the discovering execution's map *)
+  ex_cells : int;  (* saved hit cells; drives sync merge cost *)
+  ex_exec_ns : int;
+  ex_state_code : int;
+}
+
 (* Campaign-internal mutable state threaded through triage. *)
 type state = {
   cfg : config;
@@ -61,6 +72,9 @@ type state = {
   mutable solved_ns : int option;
   mutable last_sample : int;
   mutable stop : bool;
+  collect_exports : bool;
+  mutable pending_exports : export list;  (* newest first *)
+  mutable until_ns : int;  (* pause barrier for stepped runs *)
 }
 
 let now st = Nyx_sim.Clock.now_ns (Executor.clock st.exec)
@@ -81,6 +95,12 @@ let over_budget st =
   st.stop
   || now st >= st.cfg.budget_ns
   || st.execs >= st.cfg.max_execs
+
+(* Loop predicate for stepped (fleet-synced) runs: in addition to the
+   budget, stop when the virtual clock crosses the sync barrier. A plain
+   [run] keeps [until_ns = max_int], so [paused] reduces to
+   [over_budget] and the unstepped path is bit-identical. *)
+let paused st = over_budget st || now st >= st.until_ns
 
 let sample ?(force = false) st =
   let t = now st in
@@ -141,7 +161,7 @@ let trim_program st program =
       | None -> search mid hi best
     end
   in
-  if n <= 2 || over_budget st then program else search 1 n program
+  if n <= 2 || paused st then program else search 1 n program
 
 (* Record one executed test case: merge coverage, grow the corpus, log
    crashes. [stored] is the program to keep if the run found novelty. *)
@@ -152,6 +172,13 @@ let triage st (result : Report.exec_result) stored =
         Coverage.Cumulative.merge st.cumulative (Executor.coverage st.exec))
   in
   if novel then begin
+    (* Export capture happens before trim reuses the map for probes: the
+       saved checkpoint is the discovering execution's exact coverage,
+       which trim preserves by construction in the stored program. *)
+    let ex_cov =
+      if st.collect_exports then Some (Coverage.save (Executor.coverage st.exec))
+      else None
+    in
     let program = Nyx_spec.Program.strip_snapshots stored in
     let program =
       if st.cfg.trim then
@@ -163,6 +190,18 @@ let triage st (result : Report.exec_result) stored =
     ignore
       (Corpus.add st.corpus ~program ~exec_ns:result.Report.exec_ns
          ~discovered_ns:(now st) ~state_code:result.Report.state_code);
+    (match ex_cov with
+    | Some cov ->
+      st.pending_exports <-
+        {
+          ex_program = program;
+          ex_cov = cov;
+          ex_cells = Coverage.checkpoint_cells cov;
+          ex_exec_ns = result.Report.exec_ns;
+          ex_state_code = result.Report.state_code;
+        }
+        :: st.pending_exports
+    | None -> ());
     sample ~force:true st
   end
   else sample st;
@@ -275,7 +314,7 @@ let maybe_checkpoint st =
 (* The main loop, shared by [run] and [resume].                        *)
 
 let main_loop st =
-  while not (over_budget st) do
+  while not (paused st) do
     maybe_checkpoint st;
     let entry_sched = Corpus.schedule st.corpus st.rng in
     let packets = entry_sched.Corpus.packets in
@@ -285,7 +324,7 @@ let main_loop st =
     match Policy.decide st.policy ~input_id:entry_sched.Corpus.id ~packets with
     | `Root ->
       let i = ref 0 in
-      while !i < Policy.reuse_count && not (over_budget st) do
+      while !i < Policy.reuse_count && not (paused st) do
         incr i;
         let mutated =
           Nyx_obs.Trace.with_span
@@ -311,7 +350,7 @@ let main_loop st =
         let frozen = Executor.suffix_start session in
         let news = ref false in
         let i = ref 0 in
-        while !i < Policy.reuse_count && not (over_budget st) do
+        while !i < Policy.reuse_count && not (paused st) do
           incr i;
           let mutated =
             Nyx_obs.Trace.with_span
@@ -391,7 +430,19 @@ let trace_campaign_begin st =
         ("seed", Nyx_obs.Trace.Int st.cfg.seed);
       ]
 
-let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
+(* ------------------------------------------------------------------ *)
+(* Stepped instances: the resumable unit a shared-corpus fleet drives.
+   [start] boots a campaign and runs the seed programs; [step] advances
+   the main loop until the virtual clock reaches a sync barrier (or the
+   budget); between steps the fleet drains exports and feeds imports;
+   [finalize] produces the ordinary campaign result. [run] is exactly
+   start + step-to-infinity + finalize, so the unstepped path is
+   byte-identical to the historical one. *)
+
+type inst = { st : state; wall0 : float }
+
+let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
+    ?(collect_exports = false) cfg entry =
   let wall0 = Nyx_parallel.Wall.now_s () in
   let spec = net_spec () in
   let rng = Nyx_sim.Rng.create cfg.seed in
@@ -459,6 +510,9 @@ let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
       solved_ns = None;
       last_sample = 0;
       stop = false;
+      collect_exports;
+      pending_exports = [];
+      until_ns = max_int;
     }
   in
   trace_campaign_begin st;
@@ -475,10 +529,66 @@ let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
       (Corpus.add st.corpus
          ~program:(Nyx_spec.Net_spec.seed_of_packets spec [])
          ~exec_ns:0 ~discovered_ns:(now st) ~state_code:0);
-  main_loop st;
-  finish st wall0
+  { st; wall0 }
 
-let resume ?custom ?(profile = false) ?checkpoint (ckpt : Checkpoint.t) entry =
+let step inst ~until_ns =
+  inst.st.until_ns <- until_ns;
+  main_loop inst.st
+
+let finished inst = over_budget inst.st
+let clock_ns inst = now inst.st
+let execs inst = inst.st.execs
+let finalize inst = finish inst.st inst.wall0
+
+(* At a sync barrier the instance is paused at the loop top (no open
+   session, per-execution state about to be reset), which is exactly the
+   state [capture] is valid in. *)
+let checkpoint_now inst = capture inst.st
+
+let drain_exports inst =
+  let es = List.rev inst.st.pending_exports in
+  inst.st.pending_exports <- [];
+  es
+
+(* Charge the virtual cost of judging [programs] candidates totalling
+   [cells] saved hit cells against a shared map — what an exporting
+   instance pays at a sync barrier for the fleet-wide novelty check. *)
+let sync_charge inst ~programs ~cells =
+  if programs > 0 || cells > 0 then
+    let st = inst.st in
+    prof_span st Nyx_obs.Profile.Corpus_sync (fun () ->
+        Nyx_sim.Clock.advance (Executor.clock st.exec)
+          ((programs * Nyx_sim.Cost.sync_judge_program)
+          + (cells * Nyx_sim.Cost.sync_merge_per_cell)))
+
+(* Import one peer export: judge it against this instance's own virgin
+   map (O(saved cells), no re-execution) and adopt it into the corpus if
+   it is coverage-novel here. All work is charged to the virtual clock
+   under the [Corpus_sync] phase. Returns whether it was adopted. *)
+let import inst (e : export) =
+  let st = inst.st in
+  prof_span st Nyx_obs.Profile.Corpus_sync (fun () ->
+      Nyx_sim.Clock.advance (Executor.clock st.exec)
+        (Nyx_sim.Cost.sync_judge_program
+        + (e.ex_cells * Nyx_sim.Cost.sync_merge_per_cell));
+      let novel = Coverage.Cumulative.merge_saved st.cumulative e.ex_cov in
+      if novel then begin
+        Nyx_sim.Clock.advance (Executor.clock st.exec)
+          Nyx_sim.Cost.sync_import_program;
+        ignore
+          (Corpus.add st.corpus ~program:e.ex_program ~exec_ns:e.ex_exec_ns
+             ~discovered_ns:(now st) ~state_code:e.ex_state_code);
+        sample ~force:true st
+      end;
+      novel)
+
+let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
+  let inst = start ?seeds ?custom ~profile ?faults ?checkpoint cfg entry in
+  step inst ~until_ns:max_int;
+  finalize inst
+
+let resume_inst ?custom ?(profile = false) ?checkpoint
+    ?(collect_exports = false) (ckpt : Checkpoint.t) entry =
   let wall0 = Nyx_parallel.Wall.now_s () in
   let target_name = entry.Registry.target.Target.info.Target.name in
   if ckpt.Checkpoint.c_target <> target_name then
@@ -599,11 +709,18 @@ let resume ?custom ?(profile = false) ?checkpoint (ckpt : Checkpoint.t) entry =
       solved_ns = ckpt.Checkpoint.c_solved_ns;
       last_sample = ckpt.Checkpoint.c_last_sample;
       stop = false;
+      collect_exports;
+      pending_exports = [];
+      until_ns = max_int;
     }
   in
   trace_campaign_begin st;
-  main_loop st;
-  finish st wall0
+  { st; wall0 }
+
+let resume ?custom ?(profile = false) ?checkpoint (ckpt : Checkpoint.t) entry =
+  let inst = resume_inst ?custom ~profile ?checkpoint ckpt entry in
+  step inst ~until_ns:max_int;
+  finalize inst
 
 let median_result results =
   match results with

@@ -93,6 +93,103 @@ val resume :
     @raise Invalid_argument if the checkpoint's target does not match
     [entry], or the checkpoint stores an unknown policy/fault spec. *)
 
+(** {2 Stepped instances (fleet corpus sync)}
+
+    A shared-corpus fleet ({!Fleet.run} with sync epochs) drives
+    campaigns through this resumable API instead of {!run}: [start] boots
+    the campaign and executes the seed programs, each [step] advances the
+    main loop until the virtual clock reaches the given barrier (or the
+    budget/exec cap), and between steps the fleet drains coverage-novel
+    {!export}s and feeds peer exports back via {!import}. [run] is
+    exactly [start] + one step to infinity + [finalize], so the unstepped
+    path is byte-identical to the historical one.
+
+    Steps are deterministic: an instance paused at a barrier is at the
+    main-loop top (no open snapshot session), so {!checkpoint_now} is
+    valid there and stepping never alters the executed schedule except by
+    where it pauses. *)
+
+type inst
+(** A live, pausable campaign. Owned by one domain at a time; the fleet
+    hands an instance to at most one worker per epoch. *)
+
+type export = {
+  ex_program : Nyx_spec.Program.t;
+      (** the stored (post-trim, snapshot-stripped) corpus entry *)
+  ex_cov : Nyx_targets.Coverage.checkpoint;
+      (** the discovering execution's coverage map, for O(touched)
+          novelty judging without re-execution *)
+  ex_cells : int;  (** saved hit cells — the sync merge cost driver *)
+  ex_exec_ns : int;
+  ex_state_code : int;
+}
+(** A program that grew the exporting instance's corpus, with enough
+    coverage evidence for peers to judge it. *)
+
+val start :
+  ?seeds:Nyx_spec.Program.t list ->
+  ?custom:Op_handlers.custom_handler ->
+  ?profile:bool ->
+  ?faults:Nyx_resilience.Plan.spec ->
+  ?checkpoint:checkpoint_cfg ->
+  ?collect_exports:bool ->
+  config ->
+  Nyx_targets.Registry.entry ->
+  inst
+(** Boot a campaign and execute its seed programs (everything {!run}
+    does before entering the main loop). [collect_exports] (default
+    false) arms export capture: every coverage-novel corpus addition is
+    also queued for {!drain_exports}. *)
+
+val step : inst -> until_ns:int -> unit
+(** Advance the main loop until the virtual clock reaches [until_ns] or
+    the campaign is {!finished}. [step ~until_ns:max_int] runs to the
+    budget — the unstepped path. *)
+
+val finished : inst -> bool
+(** The budget or exec cap is exhausted (or stop-on-solve fired):
+    further steps are no-ops. *)
+
+val clock_ns : inst -> int
+(** The instance's virtual clock. *)
+
+val execs : inst -> int
+
+val finalize : inst -> Report.campaign_result
+(** Freeze the result (identical to what {!run} would have returned for
+    the same step schedule). Call once, after the last step. *)
+
+val drain_exports : inst -> export list
+(** Remove and return the exports queued since the last drain, in
+    discovery order. *)
+
+val import : inst -> export -> bool
+(** Judge a peer export against this instance's virgin map (O(saved
+    cells), no re-execution) and adopt it into the corpus if novel here.
+    Charges deterministic virtual time under the [Corpus_sync] profile
+    phase. Returns whether it was adopted. *)
+
+val sync_charge : inst -> programs:int -> cells:int -> unit
+(** Charge the exporting side's share of a sync barrier: judging
+    [programs] candidates totalling [cells] saved hit cells against the
+    fleet map. *)
+
+val checkpoint_now : inst -> Checkpoint.t
+(** Capture a checkpoint at a sync barrier (the instance is paused at
+    the main-loop top, where captures are valid). *)
+
+val resume_inst :
+  ?custom:Op_handlers.custom_handler ->
+  ?profile:bool ->
+  ?checkpoint:checkpoint_cfg ->
+  ?collect_exports:bool ->
+  Checkpoint.t ->
+  Nyx_targets.Registry.entry ->
+  inst
+(** {!resume}, stopped before the main loop: the fleet's kill+resume
+    path rebuilds each instance with this and continues stepping.
+    @raise Invalid_argument as {!resume}. *)
+
 val make_seeds :
   Nyx_targets.Registry.entry -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list
 

@@ -5,10 +5,20 @@ type phase =
   | Snapshot_create
   | Cov_merge
   | Trim
+  | Corpus_sync
   | Other
 
 let phases =
-  [ Reset; Prefix_replay; Suffix_exec; Snapshot_create; Cov_merge; Trim; Other ]
+  [
+    Reset;
+    Prefix_replay;
+    Suffix_exec;
+    Snapshot_create;
+    Cov_merge;
+    Trim;
+    Corpus_sync;
+    Other;
+  ]
 
 let num_phases = List.length phases
 
@@ -19,7 +29,8 @@ let index = function
   | Snapshot_create -> 3
   | Cov_merge -> 4
   | Trim -> 5
-  | Other -> 6
+  | Corpus_sync -> 6
+  | Other -> 7
 
 let phase_name = function
   | Reset -> "reset"
@@ -28,6 +39,7 @@ let phase_name = function
   | Snapshot_create -> "snapshot-create"
   | Cov_merge -> "cov-merge"
   | Trim -> "trim"
+  | Corpus_sync -> "corpus-sync"
   | Other -> "other"
 
 (* One campaign owns one profile on one domain (no locks): the fields are

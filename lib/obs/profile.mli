@@ -17,8 +17,10 @@
     runs against an incremental snapshot); [Snapshot_create] is
     incremental-snapshot creation (Figure 6's create cost); [Cov_merge]
     and [Trim] are fuzzer bookkeeping with no paper analogue (virtually
-    free and trim-only respectively); [Other] is everything unattributed
-    (target boot, root-snapshot creation).
+    free and trim-only respectively); [Corpus_sync] is fleet sync-epoch
+    work (judging and importing peer-exported programs — what fraction of
+    fleet virtual time corpus sharing costs); [Other] is everything
+    unattributed (target boot, root-snapshot creation).
 
     Accumulation is purely observational: it reads the virtual clock and
     the wall clock but never advances either, so a profiled campaign
@@ -32,6 +34,7 @@ type phase =
   | Snapshot_create
   | Cov_merge
   | Trim
+  | Corpus_sync
   | Other
 
 val phase_name : phase -> string

@@ -104,6 +104,23 @@ let submit t job =
   Condition.signal t.nonempty;
   Mutex.unlock t.m
 
+(* Enqueue a whole batch under one lock acquisition and one broadcast —
+   the amortization [map ~batch] builds on: an epoch's worth of work
+   costs one wake-up round instead of one signal per task. *)
+let submit_all t jobs =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  List.iter
+    (fun job ->
+      t.live <- t.live + 1;
+      Queue.push job t.queue)
+    jobs;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
 (* Block until every submitted task has finished. *)
 let wait t =
   Mutex.lock t.m;
@@ -130,56 +147,78 @@ let with_pool ?domains f =
 
 exception Cancelled
 
-let run_tasks ~domains (tasks : (unit -> 'a) array) : ('a, exn) result array =
+(* Sequential reference path: stop at the first failure; later tasks
+   never run. *)
+let run_sequential (tasks : (unit -> 'a) array) : ('a, exn) result array =
   let n = Array.length tasks in
-  if domains <= 1 || n <= 1 then begin
-    (* Sequential: stop at the first failure; later tasks never run. *)
-    let results = Array.make n (Error Cancelled) in
-    let failed = ref false in
-    Array.iteri
-      (fun i task ->
-        if not !failed then
-          results.(i) <-
-            (try Ok (task ())
-             with e ->
-               failed := true;
-               Error e))
-      tasks;
-    results
-  end
-  else begin
-    (* Cancellation flag: the LOWEST index of a real failure so far.
-       A queued task skips itself only when a lower-indexed task already
-       failed, so the first Error slot in the results is always a real
-       failure — never a cancellation — whatever order the domains ran
-       the tasks in. (A boolean flag would let a later failure cancel an
-       earlier task, making the reported index racy.) *)
-    let cancel_from = Atomic.make max_int in
-    let rec note_failure i =
-      let cur = Atomic.get cancel_from in
-      if i < cur && not (Atomic.compare_and_set cancel_from cur i) then
-        note_failure i
-    in
-    (* Each slot is written by exactly one task, so plain stores suffice
-       under the OCaml memory model; [wait]'s mutex publishes them. *)
-    let results = Array.make n None in
+  let results = Array.make n (Error Cancelled) in
+  let failed = ref false in
+  Array.iteri
+    (fun i task ->
+      if not !failed then
+        results.(i) <-
+          (try Ok (task ())
+           with e ->
+             failed := true;
+             Error e))
+    tasks;
+  results
+
+(* [batch]: tasks per pool job. 1 reproduces one-job-per-task; larger
+   batches amortize the Mutex/Condition round per job over [batch]
+   tasks. Chunks are contiguous index ranges, so results stay ordered
+   and the cancel index stays exact. *)
+let resolve_batch = function Some b when b >= 1 -> b | Some _ | None -> 1
+
+(* Run every task on an existing pool and return per-task results in
+   index order. The caller must be the pool's only submitter for the
+   duration (we [wait] on the pool's global live count). *)
+let run_tasks_on pool ~batch (tasks : (unit -> 'a) array) :
+    ('a, exn) result array =
+  let n = Array.length tasks in
+  (* Cancellation flag: the LOWEST index of a real failure so far.
+     A queued task skips itself only when a lower-indexed task already
+     failed, so the first Error slot in the results is always a real
+     failure — never a cancellation — whatever order the domains ran
+     the tasks in. (A boolean flag would let a later failure cancel an
+     earlier task, making the reported index racy.) *)
+  let cancel_from = Atomic.make max_int in
+  let rec note_failure i =
+    let cur = Atomic.get cancel_from in
+    if i < cur && not (Atomic.compare_and_set cancel_from cur i) then
+      note_failure i
+  in
+  (* Each slot is written by exactly one task, so plain stores suffice
+     under the OCaml memory model; [wait]'s mutex publishes them. *)
+  let results = Array.make n None in
+  let chunk lo () =
+    let hi = min n (lo + batch) - 1 in
+    for i = lo to hi do
+      let r =
+        if Atomic.get cancel_from < i then Error Cancelled
+        else
+          try Ok (tasks.(i) ())
+          with e ->
+            note_failure i;
+            Error e
+      in
+      results.(i) <- Some r
+    done
+  in
+  let jobs =
+    List.init ((n + batch - 1) / batch) (fun k -> chunk (k * batch))
+  in
+  submit_all pool jobs;
+  wait pool;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let run_tasks ~domains ?batch (tasks : (unit -> 'a) array) :
+    ('a, exn) result array =
+  let n = Array.length tasks in
+  if domains <= 1 || n <= 1 then run_sequential tasks
+  else
     with_pool ~domains:(min domains n) (fun pool ->
-        Array.iteri
-          (fun i task ->
-            submit pool (fun () ->
-                let r =
-                  if Atomic.get cancel_from < i then Error Cancelled
-                  else
-                    try Ok (task ())
-                    with e ->
-                      note_failure i;
-                      Error e
-                in
-                results.(i) <- Some r))
-          tasks;
-        wait pool);
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+        run_tasks_on pool ~batch:(resolve_batch batch) tasks)
 
 let collect results =
   (* Surface the lowest failing index, matching what the sequential run
@@ -189,8 +228,19 @@ let collect results =
     results;
   Array.map (function Ok v -> v | Error _ -> assert false) results
 
-let map ?domains f arr =
+let map ?domains ?batch f arr =
   let domains = resolve domains in
-  collect (run_tasks ~domains (Array.map (fun x () -> f x) arr))
+  collect (run_tasks ~domains ?batch (Array.map (fun x () -> f x) arr))
 
-let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))
+let map_list ?domains ?batch f l =
+  Array.to_list (map ?domains ?batch f (Array.of_list l))
+
+(* Same contract as [map], on a caller-owned pool: repeated fan-outs (a
+   fleet's sync epochs) reuse the worker domains instead of spawning a
+   fresh set per round. A one-worker pool degrades to the sequential
+   path on the calling domain, preserving the NYX_DOMAINS=1 contract. *)
+let map_pool pool ?batch f arr =
+  let tasks = Array.map (fun x () -> f x) arr in
+  let n = Array.length tasks in
+  if size pool <= 1 || n <= 1 then collect (run_sequential tasks)
+  else collect (run_tasks_on pool ~batch:(resolve_batch batch) tasks)

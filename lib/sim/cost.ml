@@ -20,6 +20,14 @@ let spawn = 2_000_000
    misbehaving target (injected by Nyx_resilience fault plans). *)
 let guest_wedge = 30_000_000
 
+(* Fleet corpus sync (AFL -S style secondary-instance import, scheduled
+   on the virtual clock): judging one exported program against a shared
+   virgin map, walking its saved hit cells, and — when it is novel —
+   parsing + enqueueing it into the importer's corpus. *)
+let sync_judge_program = 5_000
+let sync_merge_per_cell = 16
+let sync_import_program = 25_000
+
 let page_copy = 700
 let dirty_stack_entry = 16
 let bitmap_scan_per_page = 2

@@ -64,6 +64,20 @@ val guest_wedge : int
 (** A wedged guest burning the executor's whole hang budget before the
     watchdog resets it (injected by [Nyx_resilience] fault plans). *)
 
+(** {1 Fleet corpus sync (§5.3 shared-corpus fleets)} *)
+
+val sync_judge_program : int
+(** Judging one exported program against a shared virgin map (fixed
+    overhead per candidate, on top of the per-cell walk). *)
+
+val sync_merge_per_cell : int
+(** Walking one saved hit cell of an exported coverage checkpoint during
+    a sync-epoch merge — the O(touched) unit of the shared-map merge. *)
+
+val sync_import_program : int
+(** Importing one coverage-novel program into a peer instance's corpus
+    (parse + enqueue, AFL's secondary-instance sync step). *)
+
 (** {1 Snapshots (Figure 6 cost structure)} *)
 
 val page_copy : int

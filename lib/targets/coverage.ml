@@ -104,6 +104,8 @@ let save t =
   done;
   { saved_cells = cells; saved_counts = counts; saved_prev = t.prev }
 
+let checkpoint_cells cp = Array.length cp.saved_cells
+
 let restore t cp =
   reset t;
   let n = Array.length cp.saved_cells in
@@ -148,6 +150,27 @@ module Cumulative = struct
     for k = 0 to cov.live - 1 do
       let i = Array.unsafe_get cov.journal k in
       let b = bucket (Char.code (Bytes.unsafe_get cov.map i)) in
+      let seen = Char.code (Bytes.unsafe_get t.virgin i) in
+      if seen lor b <> seen then begin
+        novel := true;
+        if seen = 0 then t.edges <- t.edges + 1;
+        Bytes.unsafe_set t.virgin i (Char.unsafe_chr (seen lor b))
+      end
+    done;
+    !novel
+
+  (* Same merge, fed from a saved checkpoint instead of a live map: the
+     corpus-sync path judges exported programs against a fleet-wide
+     virgin map long after the exporting execution's map was reset, so it
+     walks the checkpoint's cell list (raw counts, bucketed here).
+     O(saved cells), identical verdict/state to [merge] on the map the
+     checkpoint was taken from. *)
+  let merge_saved t (cp : checkpoint) =
+    let novel = ref false in
+    let n = Array.length cp.saved_cells in
+    for k = 0 to n - 1 do
+      let i = Array.unsafe_get cp.saved_cells k in
+      let b = bucket (Char.code (Bytes.unsafe_get cp.saved_counts k)) in
       let seen = Char.code (Bytes.unsafe_get t.virgin i) in
       if seen lor b <> seen then begin
         novel := true;

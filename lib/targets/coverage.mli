@@ -55,6 +55,10 @@ val save : t -> checkpoint
     snapshot is taken so suffix executions replay the prefix coverage.
     O(touched cells): only live cells are stored. *)
 
+val checkpoint_cells : checkpoint -> int
+(** Number of saved hit cells — the size driver of every O(touched)
+    operation on the checkpoint (restore, matches, fleet sync merges). *)
+
 val restore : t -> checkpoint -> unit
 (** O(currently touched + saved cells). *)
 
@@ -75,6 +79,13 @@ module Cumulative : sig
   (** Fold one execution's map in; [true] if it contributed any new
       coverage (new cell or new hit-count bucket).  Walks the
       execution's journal directly: O(touched cells), closure-free. *)
+
+  val merge_saved : t -> checkpoint -> bool
+(** Fold a saved coverage checkpoint in (raw counts bucketed on the
+      way): same verdict and resulting state as [merge] applied to the
+      map the checkpoint was taken from, in O(saved cells). The fleet
+      corpus-sync path uses this to judge exported programs against the
+      shared virgin map without re-executing them. *)
 
   val merge_slow : t -> cov -> bool
   (** Reference implementation via [iter_hits]: O(map). Same verdict and

@@ -74,6 +74,87 @@ let test_submit_wait () =
           Nyx_parallel.Pool.shutdown pool;
           Nyx_parallel.Pool.submit pool (fun () -> ())))
 
+(* Batched submission: results and error contract are identical at any
+   batch size (chunks only amortize wake-ups). *)
+
+let test_batch_preserves_order () =
+  let input = Array.init 100 Fun.id in
+  let expected = Array.map (fun x -> (3 * x) - 1) input in
+  List.iter
+    (fun batch ->
+      let got =
+        Nyx_parallel.Pool.map ~domains:4 ~batch (fun x -> (3 * x) - 1) input
+      in
+      Alcotest.(check (array int)) (Printf.sprintf "batch=%d" batch) expected got)
+    [ 1; 2; 3; 7; 100; 1000 ]
+
+let test_batch_odd_remainder () =
+  (* 7 tasks in chunks of 3: two full chunks plus a remainder of 1. *)
+  Alcotest.(check (array int)) "n=7 batch=3"
+    (Array.init 7 succ)
+    (Nyx_parallel.Pool.map ~domains:2 ~batch:3 succ (Array.init 7 Fun.id));
+  (* Degenerate batch values behave as 1. *)
+  Alcotest.(check (array int)) "batch=0"
+    (Array.init 5 succ)
+    (Nyx_parallel.Pool.map ~domains:2 ~batch:0 succ (Array.init 5 Fun.id))
+
+let test_batch_error_index () =
+  List.iter
+    (fun batch ->
+      match
+        Nyx_parallel.Pool.map ~domains:4 ~batch
+          (fun x -> if x >= 11 then failwith "boom" else x)
+          (Array.init 32 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Nyx_parallel.Pool.Task_error { index; exn = Failure m } ->
+        check_int (Printf.sprintf "lowest real index, batch=%d" batch) 11 index;
+        Alcotest.(check string) "payload" "boom" m
+      | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e))
+    [ 1; 3; 5; 32 ]
+
+let test_map_pool_reuse () =
+  (* One persistent pool, many fan-out rounds — the fleet's sync-epoch
+     usage pattern. *)
+  Nyx_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      for round = 1 to 5 do
+        let got =
+          Nyx_parallel.Pool.map_pool pool ~batch:4
+            (fun x -> (round * 100) + x)
+            (Array.init 10 Fun.id)
+        in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 10 (fun i -> (round * 100) + i))
+          got
+      done;
+      (* Error contract holds on the shared pool too, and the pool stays
+         usable afterwards. *)
+      (match
+         Nyx_parallel.Pool.map_pool pool ~batch:2
+           (fun x -> if x = 4 then failwith "mid" else x)
+           (Array.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Nyx_parallel.Pool.Task_error { index; _ } ->
+        check_int "failing index on shared pool" 4 index);
+      Alcotest.(check (array int)) "pool survives task failure"
+        [| 0; 2; 4 |]
+        (Nyx_parallel.Pool.map_pool pool (fun x -> 2 * x) [| 0; 1; 2 |]))
+
+let test_submit_all_batches () =
+  let counter = Atomic.make 0 in
+  Nyx_parallel.Pool.with_pool ~domains:2 (fun pool ->
+      Nyx_parallel.Pool.submit_all pool
+        (List.init 64 (fun _ () -> Atomic.incr counter));
+      Nyx_parallel.Pool.wait pool;
+      check_int "all batched jobs ran" 64 (Atomic.get counter));
+  Alcotest.check_raises "submit_all after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Nyx_parallel.Pool.with_pool ~domains:2 (fun pool ->
+          Nyx_parallel.Pool.shutdown pool;
+          Nyx_parallel.Pool.submit_all pool [ (fun () -> ()) ]))
+
 let test_env_knob () =
   Unix.putenv "NYX_DOMAINS" "3";
   check_int "NYX_DOMAINS honoured" 3 (Nyx_parallel.Pool.default_domains ());
@@ -158,6 +239,13 @@ let () =
           Alcotest.test_case "lowest failing index" `Quick
             test_exception_reports_lowest_index;
           Alcotest.test_case "submit/wait/shutdown" `Quick test_submit_wait;
+          Alcotest.test_case "batch preserves order" `Quick
+            test_batch_preserves_order;
+          Alcotest.test_case "batch odd remainders" `Quick
+            test_batch_odd_remainder;
+          Alcotest.test_case "batch error index" `Quick test_batch_error_index;
+          Alcotest.test_case "map_pool reuse" `Quick test_map_pool_reuse;
+          Alcotest.test_case "submit_all" `Quick test_submit_all_batches;
           Alcotest.test_case "NYX_DOMAINS knob" `Quick test_env_knob;
         ] );
       ( "determinism",
