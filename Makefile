@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint faultcheck profile ci-local bench-smoke bench-hotpath bench clean
+.PHONY: all check build test lint faultcheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench clean
 
 all: check
 
@@ -33,6 +33,7 @@ check:
 	NYX_SANITIZE=1 dune runtest --force
 	NYX_DOMAINS=4 dune exec bench/main.exe -- parallel_smoke --budget 1 --sync-ms 100
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
+	$(MAKE) bench-snapshot
 	$(MAKE) faultcheck
 
 # Fault-injection smoke campaign (lib/resilience): runs a full campaign
@@ -68,6 +69,14 @@ bench-smoke:
 # the before-style full-scan paths; writes BENCH_hotpath.json.
 bench-hotpath:
 	dune exec bench/main.exe -- hotpath
+
+# Snapshot placement matrix: all four policies across protocol-diverse
+# targets, scored by virtual time-to-coverage; the gate fails unless the
+# dynamic policy strictly beats the best static policy on at least half
+# the matrix. Writes BENCH_snapshot.json. Fully deterministic (virtual
+# clock), so the gate result is reproducible bit-for-bit.
+bench-snapshot:
+	NYX_BENCH_SNAP_GATE=1 dune exec bench/main.exe -- snapshot_matrix
 
 # The full paper evaluation (slow).
 bench:

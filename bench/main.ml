@@ -5,7 +5,8 @@
    Usage:  dune exec bench/main.exe [-- EXPERIMENT... [--budget S] [--sync-ms MS]]
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
-                ablation_remirror bechamel parallel_smoke hotpath all
+                ablation_remirror bechamel parallel_smoke snapshot_matrix
+                hotpath all
    Flags:
      --budget S      parallel_smoke virtual budget in seconds
                      (default NYX_BENCH_SMOKE_BUDGET_S, then 10)
@@ -27,6 +28,12 @@
      NYX_BENCH_SMOKE_SYNC_MS   corpus-sync interval for parallel_smoke (default 250)
      NYX_BENCH_SCALE_GATE  if set (e.g. "0.7"), parallel_smoke fails when any
                            fleet size N scores mean speedup < gate * N
+     NYX_BENCH_SNAP_TARGETS    comma-separated snapshot_matrix target list
+     NYX_BENCH_SNAP_BUDGET_S   virtual budget for snapshot_matrix (default 8)
+     NYX_BENCH_SNAP_MAX_EXECS  execution cap for snapshot_matrix (default 25000)
+     NYX_BENCH_SNAP_GATE   if set, snapshot_matrix fails unless the dynamic
+                           policy beats the best static policy (virtual
+                           time-to-frontier) on at least half the targets
      NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
      NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000) *)
 
@@ -1443,6 +1450,155 @@ let faultcheck () =
   Printf.printf "  [json] %s\n  faultcheck OK\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot placement matrix: all four policies on the long-session
+   targets, scored by virtual time-to-coverage. The frontier per target
+   is the weakest policy's final coverage — every policy reaches it, so
+   "first virtual ns reaching the frontier" is a fair race. The dynamic
+   policy must strictly beat the best *static* policy on at least half
+   the matrix when NYX_BENCH_SNAP_GATE is set (the CI snapshot-gate).
+   Emits BENCH_snapshot.json.                                           *)
+
+let snap_policies = [ Policy.None_; Policy.Balanced; Policy.Aggressive; Policy.Dynamic ]
+
+let snapshot_matrix () =
+  Printf.printf "\n== Snapshot placement matrix: virtual time-to-coverage per policy ==\n\n";
+  let budget_s = env_int "NYX_BENCH_SNAP_BUDGET_S" 8 in
+  let snap_execs = env_int "NYX_BENCH_SNAP_MAX_EXECS" 25_000 in
+  let budget_ns = budget_s * 1_000_000_000 in
+  (* Protocol-diverse targets whose seed sessions are long enough for
+     mid-stream placement (>= Policy.min_packets_for_snapshot program
+     packets): SMTP, FTP x3, RTSP and TLS. *)
+  let names =
+    match Sys.getenv_opt "NYX_BENCH_SNAP_TARGETS" with
+    | Some s when String.trim s <> "" ->
+      List.filter (fun n -> n <> "") (String.split_on_char ',' (String.trim s))
+    | _ -> [ "exim"; "lightftp"; "live555"; "openssl"; "proftpd"; "pure-ftpd" ]
+  in
+  let cfg policy =
+    {
+      Campaign.policy;
+      budget_ns;
+      max_execs = snap_execs;
+      seed = 7;
+      asan = false;
+      stop_on_solve = false;
+      trim = false;
+      sample_interval_ns = 100_000_000;
+    }
+  in
+  Printf.printf "  %ds virtual budget, %d exec cap, targets: %s\n\n" budget_s
+    snap_execs (String.concat " " names);
+  (* One campaign per (target, policy); each is a pure function of the
+     seed, so the fan-out is deterministic whatever NYX_DOMAINS says. *)
+  let tasks =
+    List.concat_map (fun n -> List.map (fun pol -> (n, pol)) snap_policies) names
+  in
+  let results =
+    Nyx_parallel.Pool.map_list
+      (fun (n, pol) ->
+        let entry = Option.get (Nyx_targets.Registry.find n) in
+        (n, pol, Campaign.run (cfg pol) entry))
+      tasks
+  in
+  let by_target n = List.filter (fun (tn, _, _) -> tn = n) results in
+  Printf.printf "%-12s %10s" "target" "frontier";
+  List.iter (fun pol -> Printf.printf " %14s" (Policy.name pol)) snap_policies;
+  Printf.printf "   %s\n" "winner";
+  let wins = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let cells = by_target n in
+        let frontier =
+          List.fold_left
+            (fun acc (_, _, r) -> min acc r.Report.final_edges)
+            max_int cells
+        in
+        let ttc (r : Report.campaign_result) =
+          Option.value ~default:r.Report.virtual_ns
+            (Nyx_sim.Stats.Timeline.first_time_reaching r.Report.timeline
+               (float_of_int frontier))
+        in
+        let cell pol =
+          let _, _, r = List.find (fun (_, p, _) -> p = pol) cells in
+          (r, ttc r)
+        in
+        let per_policy = List.map (fun pol -> (pol, cell pol)) snap_policies in
+        let dyn_ttc = snd (List.assoc Policy.Dynamic per_policy) in
+        let best_static =
+          List.fold_left
+            (fun acc (pol, (_, t)) -> if pol = Policy.Dynamic then acc else min acc t)
+            max_int per_policy
+        in
+        let dynamic_wins = dyn_ttc < best_static in
+        if dynamic_wins then incr wins;
+        Printf.printf "%-12s %10d" n frontier;
+        List.iter
+          (fun pol ->
+            let _, t = List.assoc pol per_policy in
+            Printf.printf " %12.3fs%s" (float_of_int t /. 1e9)
+              (if pol = Policy.Dynamic && dynamic_wins then "*" else " "))
+          snap_policies;
+        Printf.printf "   %s\n%!" (if dynamic_wins then "dynamic" else "static");
+        (n, frontier, per_policy, dynamic_wins))
+      names
+  in
+  Printf.printf "\n  dynamic beats the best static policy on %d/%d targets\n" !wins
+    (List.length names);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"virtual_budget_s\": %d,\n\
+      \  \"max_execs\": %d,\n\
+      \  \"seed\": 7,\n\
+      \  \"targets\": [\n%s\n  ],\n\
+      \  \"dynamic_wins\": %d,\n\
+      \  \"matrix_size\": %d\n\
+       }"
+      budget_s snap_execs
+      (String.concat ",\n"
+         (List.map
+            (fun (n, frontier, per_policy, dynamic_wins) ->
+              Printf.sprintf
+                "    {\"target\": %S, \"frontier_edges\": %d, \"dynamic_wins\": %b, \
+                 \"policies\": [\n%s\n    ]}"
+                n frontier dynamic_wins
+                (String.concat ",\n"
+                   (List.map
+                      (fun (pol, ((r : Report.campaign_result), t)) ->
+                        let placement =
+                          match r.Report.placement with
+                          | None -> ""
+                          | Some p ->
+                            Printf.sprintf
+                              ", \"probes\": %d, \"moves\": %d, \"boundaries\": %d"
+                              p.Report.probes p.Report.moves p.Report.boundary_count
+                        in
+                        Printf.sprintf
+                          "      {\"policy\": %S, \"ttc_ns\": %d, \
+                           \"final_edges\": %d, \"execs\": %d%s}"
+                          (Policy.name pol) t r.Report.final_edges r.Report.execs
+                          placement)
+                      per_policy)))
+            rows))
+      !wins (List.length names)
+  in
+  let path = "BENCH_snapshot.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n" path;
+  match Sys.getenv_opt "NYX_BENCH_SNAP_GATE" with
+  | None -> ()
+  | Some _ ->
+    if !wins * 2 < List.length names then
+      failwith
+        (Printf.sprintf
+           "snapshot_matrix: dynamic beat the best static policy on only %d/%d \
+            targets (gate requires at least half)"
+           !wins (List.length names))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1463,6 +1619,7 @@ let experiments =
     ("case_studies", case_studies);
     ("bechamel", bechamel_suite);
     ("parallel_smoke", parallel_smoke);
+    ("snapshot_matrix", snapshot_matrix);
     ("hotpath", hotpath);
     ("faultcheck", faultcheck);
   ]

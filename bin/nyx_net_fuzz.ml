@@ -20,7 +20,7 @@ let target_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
 
 let policy_arg =
-  let doc = "Snapshot placement policy: none, balanced or aggressive." in
+  let doc = "Snapshot placement policy: none, balanced, aggressive or dynamic." in
   Arg.(value & opt string "aggressive" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
 let budget_arg =
@@ -66,6 +66,14 @@ let print_result r =
       "  snapshots: %d root restores, %d incremental created, %d incremental restores, %d remirrors@."
       s.Nyx_snapshot.Engine.root_restores s.Nyx_snapshot.Engine.incremental_creates
       s.Nyx_snapshot.Engine.incremental_restores s.Nyx_snapshot.Engine.remirrors
+  | None -> ());
+  (match r.Nyx_core.Report.placement with
+  | Some p ->
+    Format.printf
+      "  placement: %d state probes, %d boundaries, %d moves, %d entries placed@."
+      p.Nyx_core.Report.probes p.Nyx_core.Report.boundary_count
+      p.Nyx_core.Report.moves
+      (List.length p.Nyx_core.Report.placements)
   | None -> ());
   (match r.Nyx_core.Report.resilience with
   | Some res -> Format.printf "%a@." Nyx_core.Report.pp_resilience res

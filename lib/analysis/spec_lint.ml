@@ -143,6 +143,37 @@ let check (spec : Spec.t) : Diag.t list =
                 | l -> String.concat ", " l)))
       end)
     nodes;
+  (* Degenerate dynamic placement: the adaptive snapshot policy snaps
+     its candidate indices to protocol-state boundaries, which need at
+     least two distinct constructible opcodes to exist — a spec whose
+     whole constructible surface is one non-snapshot node type generates
+     single-opcode runs, the state probe can never see a boundary after
+     index 0, and the policy collapses to the deepest-index heuristic.
+     The provenance names the surviving node type so the spec author
+     knows which half of the protocol is missing. *)
+  (let usable =
+     ref []
+     (* constructible, non-snapshot node types *)
+   in
+   Array.iteri
+     (fun i (nt : Spec.node_ty) ->
+       if constructible.(i) && nt.Spec.nt_id <> Spec.snapshot_node_id then
+         usable := nt.Spec.nt_name :: !usable)
+     nodes;
+   match List.rev !usable with
+   | ([] | [ _ ]) as l ->
+     let provenance =
+       match l with
+       | [ only ] -> Printf.sprintf "only constructible node type is %S" only
+       | _ -> "no non-snapshot node type is constructible"
+     in
+     emit
+       (Diag.warning ~code:"dynamic-degenerate" ~site:"spec"
+          (Printf.sprintf
+             "%s: generated programs repeat one opcode, so the dynamic \
+              placement policy can never find a state boundary after index 0"
+             provenance))
+   | _ -> ());
   (* Unused edge types: producible but never an input anywhere — every
      value of this type is born dead. *)
   let input_edges = Hashtbl.create 16 in

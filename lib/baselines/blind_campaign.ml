@@ -164,4 +164,5 @@ let run ?seeds cfg entry =
         wall_s = Nyx_parallel.Wall.now_s () -. wall0;
         phase_profile = None;
         resilience = None;
+        placement = None;
       }

@@ -313,7 +313,49 @@ let maybe_checkpoint st =
 (* ------------------------------------------------------------------ *)
 (* The main loop, shared by [run] and [resume].                        *)
 
+(* Dynamic placement: one-time state-boundary probe for this entry plus
+   the per-round cost-model evaluation, all under the [Snapshot_place]
+   phase (the override pins the probe's internal resets and replays to it
+   too). Static policies never reach this — their clock/RNG sequence, and
+   so their campaign results, stay byte-identical. *)
+let dynamic_prepare st (entry_sched : Corpus.entry) ~packets =
+  (match
+     Policy.prepare_dynamic st.policy ~input_id:entry_sched.Corpus.id ~packets
+       ~full_ns:entry_sched.Corpus.exec_ns
+   with
+  | `Ready -> ()
+  | `Probe ->
+    prof_span st Nyx_obs.Profile.Snapshot_place (fun () ->
+        prof_override st Nyx_obs.Profile.Snapshot_place (fun () ->
+            let boundaries =
+              Executor.state_boundaries st.exec entry_sched.Corpus.program
+            in
+            Policy.set_boundaries st.policy ~input_id:entry_sched.Corpus.id
+              ~packets ~boundaries;
+            (* The probe replayed the entry once end-to-end. *)
+            st.execs <- st.execs + 1;
+            if Nyx_obs.Trace.on () then
+              Nyx_obs.Trace.instant ~vns:(now st) "snap-probe"
+                [
+                  ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id);
+                  ("boundaries", Nyx_obs.Trace.Int (List.length boundaries));
+                ])));
+  prof_span st Nyx_obs.Profile.Snapshot_place (fun () ->
+      Nyx_sim.Clock.advance (Executor.clock st.exec) Nyx_sim.Cost.place_decide)
+
+let trace_move st =
+  match Policy.last_move st.policy with
+  | Some (input, from_, to_) when Nyx_obs.Trace.on () ->
+    Nyx_obs.Trace.instant ~vns:(now st) "snap-move"
+      [
+        ("input", Nyx_obs.Trace.Int input);
+        ("from", Nyx_obs.Trace.Int from_);
+        ("to", Nyx_obs.Trace.Int to_);
+      ]
+  | _ -> ()
+
 let main_loop st =
+  let dyn = Policy.is_dynamic st.policy in
   while not (paused st) do
     maybe_checkpoint st;
     let entry_sched = Corpus.schedule st.corpus st.rng in
@@ -321,8 +363,13 @@ let main_loop st =
     (* Cached newest-first snapshot; Corpus.programs only reallocates
        after growth, so steady-state rounds stop paying O(corpus). *)
     let corpus_progs = Corpus.programs st.corpus in
+    if dyn && packets >= Policy.min_packets_for_snapshot then
+      dynamic_prepare st entry_sched ~packets;
     match Policy.decide st.policy ~input_id:entry_sched.Corpus.id ~packets with
     | `Root ->
+      trace_move st;
+      let news = ref false in
+      let ns_sum = ref 0 and runs = ref 0 in
       let i = ref 0 in
       while !i < Policy.reuse_count && not (paused st) do
         incr i;
@@ -336,19 +383,38 @@ let main_loop st =
                 ~dict:st.dict ~corpus:corpus_progs entry_sched.Corpus.program)
         in
         let r = Executor.run_full st.exec mutated in
-        ignore (triage st r mutated)
-      done
+        if dyn then begin
+          ns_sum := !ns_sum + r.Report.exec_ns;
+          incr runs
+        end;
+        if triage st r mutated then news := true
+      done;
+      (* Feed the cost model; static policies never observed root rounds
+         (notify_no_news was historically session-only) and still don't. *)
+      if dyn && !runs > 0 then begin
+        Policy.observe_full st.policy ~input_id:entry_sched.Corpus.id
+          ~ns:(!ns_sum / !runs);
+        if !news then Policy.notify_news st.policy ~input_id:entry_sched.Corpus.id
+        else Policy.notify_no_news st.policy ~input_id:entry_sched.Corpus.id
+      end
     | `At idx -> (
+      trace_move st;
       let with_snap =
         Nyx_spec.Program.with_snapshot_at entry_sched.Corpus.program idx
       in
+      let setup0 = now st in
       match Executor.start_session st.exec with_snap with
       | Error r ->
-        (* The prefix itself crashed or failed: still a test case. *)
-        ignore (triage st r with_snap)
+        (* The prefix itself crashed or failed: still a test case. A
+           dynamic placement whose prefix keeps failing accrues staleness
+           so the cost model drifts away from it. *)
+        ignore (triage st r with_snap);
+        if dyn then Policy.notify_no_news st.policy ~input_id:entry_sched.Corpus.id
       | Ok session ->
+        let setup_ns = now st - setup0 in
         let frozen = Executor.suffix_start session in
         let news = ref false in
+        let ns_sum = ref 0 and rounds = ref 0 in
         let i = ref 0 in
         while !i < Policy.reuse_count && not (paused st) do
           incr i;
@@ -363,11 +429,21 @@ let main_loop st =
                   ~dict:st.dict ~frozen ~corpus:corpus_progs with_snap)
           in
           let r = Executor.run_suffix st.exec session mutated in
+          if dyn then begin
+            ns_sum := !ns_sum + r.Report.exec_ns;
+            incr rounds
+          end;
           if triage st r mutated then news := true
         done;
         Executor.end_session st.exec session;
+        if dyn && !rounds > 0 then
+          Policy.observe_session st.policy ~input_id:entry_sched.Corpus.id ~idx
+            ~setup_ns
+            ~round_ns:(!ns_sum / !rounds)
+            ~pages:(Executor.last_snapshot_pages st.exec);
         if not !news then
-          Policy.notify_no_news st.policy ~input_id:entry_sched.Corpus.id)
+          Policy.notify_no_news st.policy ~input_id:entry_sched.Corpus.id
+        else Policy.notify_news st.policy ~input_id:entry_sched.Corpus.id)
   done
 
 let finish st wall0 =
@@ -419,6 +495,7 @@ let finish st wall0 =
             backoff_ns = 0;
           })
         st.plan;
+    placement = Policy.placement_stats st.policy;
   }
 
 let trace_campaign_begin st =

@@ -113,13 +113,31 @@ let add_sample b (t, bits) =
   add_int b t;
   add_i64 b bits
 
+let add_dyn_state b (d : Policy.dyn_state) =
+  add_int b d.Policy.ds_id;
+  add_int_list b d.Policy.ds_cands;
+  add_int_list b d.Policy.ds_stale;
+  add_int b d.Policy.ds_root_stale;
+  add_int b d.Policy.ds_genuine;
+  add_bool b d.Policy.ds_probed;
+  add_int b d.Policy.ds_full_ns;
+  add_int b d.Policy.ds_setup_ns;
+  add_int b d.Policy.ds_round_ns;
+  add_int b d.Policy.ds_pages;
+  add_int b d.Policy.ds_meas_idx;
+  add_int b d.Policy.ds_cur;
+  add_int b d.Policy.ds_cooldown;
+  add_int b d.Policy.ds_moves
+
 let add_policy_state b (s : Policy.state) =
   add_i64 b s.Policy.st_rng;
   add_list
     (fun b (k, v) ->
       add_int b k;
       add_int b v)
-    b s.Policy.st_cursor
+    b s.Policy.st_cursor;
+  add_list add_dyn_state b s.Policy.st_dyn;
+  add_int b s.Policy.st_probes
 
 let add_engine b (p : Nyx_snapshot.Engine.persisted) =
   add_int_list b p.Nyx_snapshot.Engine.p_mirror;
@@ -247,6 +265,38 @@ let get_sample c =
   let bits = get_i64 c in
   (t, bits)
 
+let get_dyn_state c =
+  let ds_id = get_int c in
+  let ds_cands = get_int_list c in
+  let ds_stale = get_int_list c in
+  let ds_root_stale = get_int c in
+  let ds_genuine = get_int c in
+  let ds_probed = get_bool c in
+  let ds_full_ns = get_int c in
+  let ds_setup_ns = get_int c in
+  let ds_round_ns = get_int c in
+  let ds_pages = get_int c in
+  let ds_meas_idx = get_int c in
+  let ds_cur = get_int c in
+  let ds_cooldown = get_int c in
+  let ds_moves = get_int c in
+  {
+    Policy.ds_id;
+    ds_cands;
+    ds_stale;
+    ds_root_stale;
+    ds_genuine;
+    ds_probed;
+    ds_full_ns;
+    ds_setup_ns;
+    ds_round_ns;
+    ds_pages;
+    ds_meas_idx;
+    ds_cur;
+    ds_cooldown;
+    ds_moves;
+  }
+
 let get_policy_state c =
   let st_rng = get_i64 c in
   let st_cursor =
@@ -257,7 +307,9 @@ let get_policy_state c =
         (k, v))
       c
   in
-  { Policy.st_rng; st_cursor }
+  let st_dyn = get_list get_dyn_state c in
+  let st_probes = get_int c in
+  { Policy.st_rng; st_cursor; st_dyn; st_probes }
 
 let get_engine c =
   let p_mirror = get_int_list c in

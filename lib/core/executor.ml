@@ -268,3 +268,41 @@ let run_suffix t session program =
 
 let end_session t _session =
   prof t Nyx_obs.Profile.Reset (fun () -> Nyx_snapshot.Engine.restore_root t.engine)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-state probing (dynamic snapshot placement).                *)
+
+let state_hash t = Target.state_hash t.ctx (Nyx_snapshot.Engine.aux t.engine)
+
+let last_snapshot_pages t = Nyx_snapshot.Engine.last_create_pages t.engine
+
+(* Single-step the (snapshot-stripped) program from the root, hashing the
+   protocol state after every packet; a hash change at packet i+1 marks a
+   state-machine boundary. Only interior indices are reported — placing
+   the snapshot at 0 or past the last packet is never useful. A crash in
+   the probe simply truncates the boundary list (the crashing mutant will
+   be triaged by a real execution; the probe's job is placement only). The
+   full probe cost — replay, per-step hashing — lands on the virtual
+   clock, so placement decisions stay deterministic. *)
+let state_boundaries t program =
+  let p = Nyx_spec.Program.strip_snapshots program in
+  let n = Array.length p.Nyx_spec.Program.ops in
+  prof t Nyx_obs.Profile.Reset (fun () ->
+      Nyx_snapshot.Engine.restore_root t.engine;
+      reset_exec_state t);
+  let h = Op_handlers.handlers t.ops in
+  let env = Nyx_spec.Interp.initial_env p in
+  let boundaries = ref [] in
+  let prev = ref (state_hash t) in
+  ignore
+    (status_of_run (fun () ->
+         for i = 0 to n - 1 do
+           ignore (Nyx_spec.Interp.run ~from:i ~until:(i + 1) ~env p h);
+           let cur = state_hash t in
+           if cur <> !prev && i + 1 <= n - 1 then boundaries := (i + 1) :: !boundaries;
+           prev := cur
+         done));
+  prof t Nyx_obs.Profile.Reset (fun () ->
+      Nyx_snapshot.Engine.restore_root t.engine;
+      reset_exec_state t);
+  List.rev !boundaries

@@ -100,3 +100,24 @@ val run_suffix : t -> session -> Nyx_spec.Program.t -> Report.exec_result
     as recovered in the plan. *)
 
 val end_session : t -> session -> unit
+
+(** {2 Protocol-state probing (dynamic snapshot placement)} *)
+
+val state_hash : t -> int
+(** {!Nyx_targets.Target.state_hash} of the instance's current state —
+    fuzzy aux-state signature folded with the target's state-code
+    annotation. Charges virtual time. *)
+
+val state_boundaries : t -> Nyx_spec.Program.t -> int list
+(** Single-step the program (snapshots stripped) from the root snapshot,
+    hashing the protocol state after every packet. Returns the ascending
+    interior packet indices [1 <= i <= packets-1] where the hash changed —
+    the state-machine boundaries the dynamic placement policy snaps
+    candidate snapshot points to. A crash mid-probe truncates the list.
+    Leaves the instance reset to the root. Costs (replay + hashing) are
+    charged to the virtual clock. *)
+
+val last_snapshot_pages : t -> int
+(** Pages copied by this instance's most recent incremental snapshot
+    create — the dirty-set size the dynamic policy's cost model feeds on.
+    Read it right after the session start it describes. *)

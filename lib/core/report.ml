@@ -19,6 +19,13 @@ type resilience = {
   backoff_ns : int;
 }
 
+type placement_stats = {
+  probes : int;
+  moves : int;
+  boundary_count : int;
+  placements : (int * int) list;
+}
+
 type campaign_result = {
   fuzzer : string;
   target : string;
@@ -43,6 +50,9 @@ type campaign_result = {
       (* Some only when a fault plan was armed or a fleet supervisor
          restarted this instance; None -> byte-identical to pre-resilience
          results. *)
+  placement : placement_stats option;
+      (* dynamic snapshot placement counters; Some only for --policy
+         dynamic. Fully deterministic (virtual-clock driven). *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes

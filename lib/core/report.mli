@@ -28,6 +28,15 @@ type resilience = {
   backoff_ns : int;  (** virtual backoff the supervisor charged before retries *)
 }
 
+type placement_stats = {
+  probes : int;  (** state-boundary probes run (one per long-enough entry) *)
+  moves : int;  (** snapshot relocations after the initial placement *)
+  boundary_count : int;  (** protocol-state boundaries the probes found *)
+  placements : (int * int) list;
+      (** final [(input id, snapshot index)] per placed entry, sorted by
+          input id; index 0 means the entry settled on the root *)
+}
+
 type campaign_result = {
   fuzzer : string;
   target : string;
@@ -56,6 +65,10 @@ type campaign_result = {
           fault plan was armed ([NYX_FAULTS] / [~faults]) or a fleet
           supervisor restarted the instance. [None] campaigns are
           byte-identical to pre-resilience results. *)
+  placement : placement_stats option;
+      (** adaptive snapshot-placement counters; [Some] only for the
+          dynamic policy. Deterministic — placement decisions run on the
+          virtual clock. *)
 }
 
 val crashed : campaign_result -> bool

@@ -3,6 +3,7 @@ type phase =
   | Prefix_replay
   | Suffix_exec
   | Snapshot_create
+  | Snapshot_place
   | Cov_merge
   | Trim
   | Corpus_sync
@@ -14,6 +15,7 @@ let phases =
     Prefix_replay;
     Suffix_exec;
     Snapshot_create;
+    Snapshot_place;
     Cov_merge;
     Trim;
     Corpus_sync;
@@ -27,16 +29,18 @@ let index = function
   | Prefix_replay -> 1
   | Suffix_exec -> 2
   | Snapshot_create -> 3
-  | Cov_merge -> 4
-  | Trim -> 5
-  | Corpus_sync -> 6
-  | Other -> 7
+  | Snapshot_place -> 4
+  | Cov_merge -> 5
+  | Trim -> 6
+  | Corpus_sync -> 7
+  | Other -> 8
 
 let phase_name = function
   | Reset -> "reset"
   | Prefix_replay -> "prefix-replay"
   | Suffix_exec -> "suffix-exec"
   | Snapshot_create -> "snapshot-create"
+  | Snapshot_place -> "snapshot-place"
   | Cov_merge -> "cov-merge"
   | Trim -> "trim"
   | Corpus_sync -> "corpus-sync"

@@ -15,7 +15,9 @@
     the snapshot opcode (charged once per session); [Suffix_exec] is test
     execution proper (both whole-program runs from the root and suffix
     runs against an incremental snapshot); [Snapshot_create] is
-    incremental-snapshot creation (Figure 6's create cost); [Cov_merge]
+    incremental-snapshot creation (Figure 6's create cost); [Snapshot_place] is the
+    dynamic placement policy's own work — protocol-state boundary probes
+    and cost-model decisions (zero for the static policies); [Cov_merge]
     and [Trim] are fuzzer bookkeeping with no paper analogue (virtually
     free and trim-only respectively); [Corpus_sync] is fleet sync-epoch
     work (judging and importing peer-exported programs — what fraction of
@@ -32,6 +34,7 @@ type phase =
   | Prefix_replay
   | Suffix_exec
   | Snapshot_create
+  | Snapshot_place
   | Cov_merge
   | Trim
   | Corpus_sync

@@ -28,6 +28,12 @@ let sync_judge_program = 5_000
 let sync_merge_per_cell = 16
 let sync_import_program = 25_000
 
+(* Adaptive snapshot placement (StateAFL/SNPSFuzzer direction): hashing
+   the captured aux state into a fuzzy protocol-state signature, and one
+   evaluation of the dynamic policy's amortized cost model. *)
+let state_hash = 3_000
+let place_decide = 1_500
+
 let page_copy = 700
 let dirty_stack_entry = 16
 let bitmap_scan_per_page = 2

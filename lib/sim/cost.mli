@@ -78,6 +78,17 @@ val sync_import_program : int
 (** Importing one coverage-novel program into a peer instance's corpus
     (parse + enqueue, AFL's secondary-instance sync step). *)
 
+(** {1 Adaptive snapshot placement (StateAFL/SNPSFuzzer direction)} *)
+
+val state_hash : int
+(** Hashing the captured auxiliary state into a fuzzy protocol-state
+    signature (one boundary-probe sample), on top of the per-byte
+    capture cost. *)
+
+val place_decide : int
+(** One evaluation of the dynamic placement policy's amortized cost
+    model when an input is scheduled. *)
+
 (** {1 Snapshots (Figure 6 cost structure)} *)
 
 val page_copy : int

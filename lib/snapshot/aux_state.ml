@@ -30,3 +30,44 @@ let restore t clock cap =
     handlers cap
 
 let size_bytes cap = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 cap
+
+(* StateAFL-style fuzzy state hash. The captured aux state mixes real
+   protocol state (socket tables, agent bookkeeping) with payload echoes
+   (flow buffers), so a byte-exact hash would see a "new state" in every
+   packet. Instead each handler's bytes are folded in 64-byte chunks,
+   and each chunk contributes only a coarse signature — its non-zero
+   population in buckets of 8 and its byte sum in buckets of 256 — so
+   payload-level jitter inside a chunk usually leaves the hash unchanged
+   while structural changes (a connection appearing, a state-machine
+   advance, buffers growing past a chunk) move it. Deterministic: plain
+   arithmetic over the capture bytes, no randomized seeds. *)
+
+let chunk_size = 64
+
+let fnv_prime = 0x100000001B3
+
+(* FNV-1a's 64-bit offset basis truncated to OCaml's 63-bit int range. *)
+let fnv_offset = 0x0BF29CE484222325
+
+let fuzzy_hash (cap : capture) =
+  let h = ref fnv_offset in
+  let mix v = h := (!h lxor v) * fnv_prime in
+  List.iter
+    (fun (name, b) ->
+      String.iter (fun c -> mix (Char.code c)) name;
+      let n = Bytes.length b in
+      mix (n / chunk_size);
+      let i = ref 0 in
+      while !i < n do
+        let stop = min n (!i + chunk_size) in
+        let sum = ref 0 and nonzero = ref 0 in
+        for j = !i to stop - 1 do
+          let c = Char.code (Bytes.unsafe_get b j) in
+          sum := !sum + c;
+          if c <> 0 then incr nonzero
+        done;
+        mix (((!nonzero / 8) * 61) lxor (!sum / 256));
+        i := stop
+      done)
+    cap;
+  !h land max_int

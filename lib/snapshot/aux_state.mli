@@ -29,3 +29,11 @@ val restore : t -> Nyx_sim.Clock.t -> capture -> unit
     @raise Invalid_argument if the handler set changed since capture. *)
 
 val size_bytes : capture -> int
+
+val fuzzy_hash : capture -> int
+(** StateAFL-style fuzzy protocol-state signature of a capture: each
+    handler's bytes are folded in 64-byte chunks whose contribution is
+    quantized (non-zero population and byte-sum buckets), so small
+    payload-level differences usually hash identically while structural
+    state changes move the hash. Deterministic and non-negative; two
+    captures of byte-identical state always agree. *)

@@ -27,6 +27,9 @@ type t = {
   mutable s_inc_restores : int;
   mutable s_pages_restored : int;
   mutable s_remirrors : int;
+  mutable last_create_pages : int;
+      (* pages copied by the most recent take_incremental — the measured
+         dirty-set size the dynamic placement policy's cost model reads *)
 }
 
 let create ?(remirror_interval = 2000) vm aux =
@@ -47,10 +50,13 @@ let create ?(remirror_interval = 2000) vm aux =
     s_inc_restores = 0;
     s_pages_restored = 0;
     s_remirrors = 0;
+    last_create_pages = 0;
   }
 
 let vm t = t.vm
+let aux t = t.aux
 let has_incremental t = t.active
+let last_create_pages t = t.last_create_pages
 
 let charge_page t = Nyx_sim.Clock.advance t.vm.clock Nyx_sim.Cost.page_copy
 
@@ -104,6 +110,7 @@ let take_incremental t =
   t.active <- true;
   t.creates_since_remirror <- t.creates_since_remirror + 1;
   t.s_inc_creates <- t.s_inc_creates + 1;
+  t.last_create_pages <- !copied;
   (* Fault injection (simulated — the image data is not actually damaged,
      the engine just behaves as if it were): a corrupted image or a lossy
      dirty log leaves a latent fault on this incremental snapshot,

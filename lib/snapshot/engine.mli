@@ -27,7 +27,17 @@ val create :
 
 val vm : t -> Nyx_vm.Vm.t
 
+val aux : t -> Aux_state.t
+(** The auxiliary-state registry the engine captures alongside memory —
+    also the input of the fuzzy protocol-state hash. *)
+
 val has_incremental : t -> bool
+
+val last_create_pages : t -> int
+(** Pages copied by the most recent {!take_incremental} (0 before the
+    first) — the measured dirty-set size behind the dynamic placement
+    policy's cost model. Advisory: read it right after the create it
+    describes; it is not checkpointed. *)
 
 val take_incremental : t -> unit
 (** Snapshot the current VM state as the secondary snapshot. The engine

@@ -115,9 +115,14 @@ let exec_op (p : Program.t) h env i =
     List.iter (push env) outputs
   end
 
-let run ?sanitize ?(from = 0) ?env (p : Program.t) h =
+let run ?sanitize ?(from = 0) ?until ?env (p : Program.t) h =
   let env = match env with Some e -> e | None -> initial_env ?sanitize p in
-  for i = from to Array.length p.ops - 1 do
+  let stop =
+    match until with
+    | None -> Array.length p.ops
+    | Some u -> min u (Array.length p.ops)
+  in
+  for i = from to stop - 1 do
     exec_op p h env i
   done;
   env

@@ -47,12 +47,17 @@ val copy_env : env -> env
 val snapshot_op_index : Program.t -> int option
 (** Index in [ops] of the snapshot opcode. *)
 
-val run : ?sanitize:bool -> ?from:int -> ?env:env -> Program.t -> handlers -> env
-(** Execute ops starting at index [from] (default 0) in the given
-    environment (default fresh). Returns the final environment. Exceptions
-    from handlers (crashes, protocol errors) propagate. [sanitize] only
-    applies when no [env] is passed — an explicit environment keeps the
-    mode it was created with. *)
+val run :
+  ?sanitize:bool -> ?from:int -> ?until:int -> ?env:env -> Program.t ->
+  handlers -> env
+(** Execute ops starting at index [from] (default 0), stopping before
+    index [until] (default — and clamped to — the program length), in the
+    given environment (default fresh). Returns the final environment.
+    Exceptions from handlers (crashes, protocol errors) propagate.
+    [sanitize] only applies when no [env] is passed — an explicit
+    environment keeps the mode it was created with. [until] is how the
+    dynamic placement policy's boundary probe single-steps a program,
+    hashing the target's protocol state between ops. *)
 
 val run_until_snapshot :
   ?sanitize:bool -> Program.t -> handlers -> (int * env) option

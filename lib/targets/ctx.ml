@@ -35,3 +35,8 @@ let crash _t ~kind detail = raise (Crash { kind; detail })
 let work t ns = Nyx_sim.Clock.advance t.clock ns
 
 let set_state t code = t.state_code <- code
+
+(* Golden-ratio mix so adjacent response codes land far apart — the
+   signature is xor-folded into the fuzzy aux-state hash and must not
+   collide with its low-entropy chunk buckets. *)
+let state_signature t = (t.state_code * 0x9E3779B9) land max_int

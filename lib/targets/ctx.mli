@@ -60,3 +60,8 @@ val work : t -> int -> unit
 (** Charge [ns] of plain computation to the clock. *)
 
 val set_state : t -> int -> unit
+
+val state_signature : t -> int
+(** Deterministic non-negative mix of the current [state_code] — the
+    explicit protocol-state annotation's contribution to
+    {!Target.state_hash}. *)

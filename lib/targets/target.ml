@@ -164,6 +164,17 @@ let pump rt =
 let ctx rt = rt.rt_ctx
 let target rt = rt.t
 
+(* StateAFL-style protocol-state identification (used by the dynamic
+   snapshot-placement policy): fuzzy-hash the auxiliary snapshot state —
+   the emulated network stack is registered there, so socket tables and
+   flow structure feed in — and fold in the target's explicit state-code
+   annotation. Charges Cost.state_hash plus the aux capture's per-byte
+   cost, all on the virtual clock, so probing is deterministic. *)
+let state_hash ctx aux =
+  Nyx_sim.Clock.advance ctx.Ctx.clock Nyx_sim.Cost.state_hash;
+  let cap = Nyx_snapshot.Aux_state.capture aux ctx.Ctx.clock in
+  (Nyx_snapshot.Aux_state.fuzzy_hash cap lxor Ctx.state_signature ctx) land max_int
+
 let sample_capture_of_packets ?(stream = 0) packets =
   List.fold_left
     (fun (cap, ts) payload ->

@@ -75,5 +75,15 @@ val pump : runtime -> unit
 
 val ctx : runtime -> Ctx.t
 val target : runtime -> t
+
+val state_hash : Ctx.t -> Nyx_snapshot.Aux_state.t -> int
+(** Fuzzy protocol-state signature of the running target: the
+    {!Nyx_snapshot.Aux_state.fuzzy_hash} of a fresh aux-state capture
+    (socket tables, agent bookkeeping) xor-folded with the target's
+    explicit {!Ctx.state_signature}. Deterministic; charges
+    {!Nyx_sim.Cost.state_hash} plus the capture's per-byte cost. The
+    dynamic placement policy probes this between packets to find
+    state-machine boundaries (the StateAFL idea). *)
+
 val sample_capture_of_packets : ?stream:int -> bytes list -> Nyx_pcap.Capture.t
 (** Helper for targets' canned seed traffic. *)

@@ -328,6 +328,7 @@ let test_median_result () =
       wall_s = 0.0;
       phase_profile = None;
       resilience = None;
+      placement = None;
     }
   in
   check_int "median of three" 20
@@ -360,6 +361,7 @@ let test_report_helpers () =
       wall_s = 0.0;
       phase_profile = None;
       resilience = None;
+      placement = None;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);

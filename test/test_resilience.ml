@@ -558,7 +558,8 @@ let sample_checkpoint () =
     c_solved_ns = Some 55;
     c_sched_rng = 0x1234_5678_9abc_def0L;
     c_mut_rng = -1L;
-    c_policy_state = { Policy.st_rng = 17L; st_cursor = [ (1, 2); (3, 4) ] };
+    c_policy_state =
+      { Policy.st_rng = 17L; st_cursor = [ (1, 2); (3, 4) ]; st_dyn = []; st_probes = 0 };
     c_corpus =
       [
         {
