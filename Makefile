@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint faultcheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench clean
+.PHONY: all check build test lint faultcheck statecheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench clean
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 # error-severity findings.
 lint:
 	dune build @all
-	dune exec bin/domain_lint.exe -- lib bin bench
+	dune exec bin/domain_lint.exe -- lib bin bench test
 	dune exec bin/nyx_net_fuzz.exe -- lint --all-targets
 
 # Tier-1 verify: exactly what .github/workflows/ci.yml runs (build-test
@@ -24,9 +24,9 @@ lint:
 # lint job = the lint suite). Build + tests, the lint suite, the test
 # suite again under the interpreter sanitizer (NYX_SANITIZE asserts the
 # verifier's facts at runtime; --force because dune does not track env
-# vars), and both smoke benches asserted crash-free under NYX_DOMAINS=4
+# vars), both smoke benches asserted crash-free under NYX_DOMAINS=4
 # (hotpath additionally fails if the before/after gears diverge or the
-# speedup drops below 2x).
+# speedup drops below 2x), and the static-vs-dynamic conformance gate.
 check:
 	dune build @all && dune runtest
 	$(MAKE) lint
@@ -35,6 +35,7 @@ check:
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 	$(MAKE) bench-snapshot
 	$(MAKE) faultcheck
+	$(MAKE) statecheck
 
 # Fault-injection smoke campaign (lib/resilience): runs a full campaign
 # with every fault site armed at 2%, asserts zero aborted faults (every
@@ -44,6 +45,16 @@ check:
 faultcheck:
 	dune build @all
 	dune exec bench/main.exe -- faultcheck
+
+# Static-vs-dynamic conformance gate (lib/analysis): for every registry
+# target, seeds plus deterministic mutants are probed densely and every
+# observed state boundary must be statically feasible; a sanitized
+# shadow-hash pass asserts no boundary escapes the static prior. Fails
+# on any violation; writes STATECHECK.json (residue = feasible-but-
+# unobserved indices is reported, not gated).
+statecheck:
+	dune build @all
+	dune exec bench/main.exe -- statecheck
 
 # Per-phase snapshot-cost profiles (lib/obs): a short profiled campaign
 # per flagship target, table on stdout, JSON artifact next to the

@@ -6,7 +6,7 @@
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
                 ablation_remirror bechamel parallel_smoke snapshot_matrix
-                hotpath all
+                hotpath faultcheck statecheck all
    Flags:
      --budget S      parallel_smoke virtual budget in seconds
                      (default NYX_BENCH_SMOKE_BUDGET_S, then 10)
@@ -35,7 +35,8 @@
                            policy beats the best static policy (virtual
                            time-to-frontier) on at least half the targets
      NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
-     NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000) *)
+     NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000)
+     NYX_STATECHECK_MUTANTS    statecheck mutants per seed (default 3) *)
 
 open Nyx_core
 
@@ -1450,6 +1451,126 @@ let faultcheck () =
   Printf.printf "  [json] %s\n  faultcheck OK\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Static-vs-dynamic boundary conformance (make statecheck / CI): on
+   every registry target, every dynamically observed protocol-state
+   boundary must lie inside the static feasible set computed by
+   Nyx_analysis.Dataflow — the soundness claim the probe prior rests on.
+   Checked over the shipped seeds, deterministic mutants of them, and
+   empty-payload variants that specifically exercise the statically-
+   inert classification. The residue (feasible indices the probe never
+   saw change the hash) is reported as the precision metric. Emits
+   STATECHECK.json; any violation is fatal.                             *)
+
+let statecheck () =
+  Printf.printf "\n== Static-vs-dynamic boundary conformance (statecheck) ==\n\n";
+  let mutants_per_seed = env_int "NYX_STATECHECK_MUTANTS" 3 in
+  let nspec = Campaign.net_spec () in
+  let empty_variant stride p =
+    let i = ref 0 in
+    let ops =
+      Array.map
+        (fun (op : Nyx_spec.Program.op) ->
+          incr i;
+          if !i mod stride = 0 then
+            {
+              op with
+              Nyx_spec.Program.data =
+                Array.map (fun _ -> Bytes.empty) op.Nyx_spec.Program.data;
+            }
+          else op)
+        p.Nyx_spec.Program.ops
+    in
+    { p with Nyx_spec.Program.ops = ops }
+  in
+  let total_obs = ref 0 and total_feas = ref 0 in
+  let total_viol = ref 0 and total_progs = ref 0 in
+  let rows =
+    List.map
+      (fun (entry : Nyx_targets.Registry.entry) ->
+        let info = entry.Nyx_targets.Registry.target.Nyx_targets.Target.info in
+        let name = info.Nyx_targets.Target.name in
+        let udp = info.Nyx_targets.Target.proto = Nyx_netemu.Net.Udp in
+        let seeds = Nyx_targets.Registry.seed_programs entry nspec in
+        let rng = Nyx_sim.Rng.create 7 in
+        let programs =
+          List.concat_map
+            (fun p ->
+              (p :: List.init mutants_per_seed (fun _ -> Nyx_spec.Mutator.mutate rng p))
+              @ [ empty_variant 1 p; empty_variant 2 p ])
+            seeds
+        in
+        let exec =
+          Executor.create ~net_spec:nspec entry.Nyx_targets.Registry.target
+        in
+        let observed = ref 0 and feasible_n = ref 0 and violations = ref [] in
+        List.iter
+          (fun p ->
+            let feasible = Nyx_analysis.Dataflow.feasible_boundaries ~udp p in
+            let bounds = Executor.state_boundaries exec p in
+            observed := !observed + List.length bounds;
+            feasible_n := !feasible_n + List.length feasible;
+            List.iter
+              (fun b -> if not (List.mem b feasible) then violations := b :: !violations)
+              bounds)
+          programs;
+        let residue = !feasible_n - (!observed - List.length !violations) in
+        total_obs := !total_obs + !observed;
+        total_feas := !total_feas + !feasible_n;
+        total_viol := !total_viol + List.length !violations;
+        total_progs := !total_progs + List.length programs;
+        Printf.printf
+          "  %-14s %3d programs | observed %4d  feasible %4d  residue %4d  \
+           violations %d\n%!"
+          name (List.length programs) !observed !feasible_n residue
+          (List.length !violations);
+        (name, List.length programs, !observed, !feasible_n, residue,
+         List.length !violations))
+      (Nyx_targets.Registry.all ())
+  in
+  let precision =
+    if !total_feas = 0 then 1.0
+    else float_of_int !total_obs /. float_of_int !total_feas
+  in
+  Printf.printf
+    "\n  %d programs over %d targets: %d observed within %d feasible \
+     (precision %.3f), %d violation(s)\n"
+    !total_progs (List.length rows) !total_obs !total_feas precision !total_viol;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"programs\": %d,\n\
+      \  \"observed_boundaries\": %d,\n\
+      \  \"feasible_boundaries\": %d,\n\
+      \  \"residue\": %d,\n\
+      \  \"precision\": %.4f,\n\
+      \  \"violations\": %d,\n\
+      \  \"targets\": [\n%s\n  ]\n\
+       }"
+      !total_progs !total_obs !total_feas (!total_feas - !total_obs + !total_viol)
+      precision !total_viol
+      (String.concat ",\n"
+         (List.map
+            (fun (name, progs, obs, feas, residue, viol) ->
+              Printf.sprintf
+                "    {\"target\": %S, \"programs\": %d, \"observed\": %d, \
+                 \"feasible\": %d, \"residue\": %d, \"violations\": %d}"
+                name progs obs feas residue viol)
+            rows))
+  in
+  let path = "STATECHECK.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n%!" path;
+  if !total_viol > 0 then
+    failwith
+      (Printf.sprintf
+         "statecheck: %d dynamically observed boundary(ies) outside the static \
+          feasible set — the Dataflow inertness classification is unsound"
+         !total_viol);
+  Printf.printf "  statecheck OK\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot placement matrix: all four policies on the long-session
    targets, scored by virtual time-to-coverage. The frontier per target
    is the weakest policy's final coverage — every policy reaches it, so
@@ -1545,6 +1666,62 @@ let snapshot_matrix () =
   in
   Printf.printf "\n  dynamic beats the best static policy on %d/%d targets\n" !wins
     (List.length names);
+  (* Probe-cost ablation: rerun every seed's boundary probe with the
+     static feasibility prior (Nyx_analysis.Dataflow) off and on. The
+     prior may only skip hashes, never change the result — boundaries
+     must match exactly, and prior-on must hash strictly fewer indices
+     (it always skips at least the useless hash after the last packet). *)
+  let nspec = Campaign.net_spec () in
+  let prior_rows =
+    List.map
+      (fun n ->
+        let entry = Option.get (Nyx_targets.Registry.find n) in
+        let udp =
+          entry.Nyx_targets.Registry.target.Nyx_targets.Target.info
+            .Nyx_targets.Target.proto = Nyx_netemu.Net.Udp
+        in
+        let seeds = Nyx_targets.Registry.seed_programs entry nspec in
+        let exec =
+          Executor.create ~net_spec:nspec entry.Nyx_targets.Registry.target
+        in
+        let dense = ref 0 and prior = ref 0 and probed = ref 0 in
+        List.iter
+          (fun p ->
+            let feasible = Nyx_analysis.Dataflow.feasible_boundaries ~udp p in
+            let b_off = Executor.state_boundaries exec p in
+            let h_off = Executor.last_probe_hashed exec in
+            let b_on = Executor.state_boundaries ~feasible exec p in
+            let h_on = Executor.last_probe_hashed exec in
+            if b_off <> b_on then
+              failwith
+                (Printf.sprintf
+                   "snapshot_matrix: static prior changed probe result on %s \
+                    ([%s] vs [%s])"
+                   n
+                   (String.concat ";" (List.map string_of_int b_off))
+                   (String.concat ";" (List.map string_of_int b_on)));
+            dense := !dense + h_off;
+            prior := !prior + h_on;
+            incr probed)
+          seeds;
+        (n, !probed, !dense, !prior))
+      names
+  in
+  let prior_wins =
+    List.length (List.filter (fun (_, _, d, p) -> p < d) prior_rows)
+  in
+  Printf.printf "\n  probe-cost ablation (state hashes across all seed probes):\n";
+  Printf.printf "  %-12s %6s %12s %12s %8s\n" "target" "seeds" "dense" "prior" "saved";
+  List.iter
+    (fun (n, probed, dense, prior) ->
+      Printf.printf "  %-12s %6d %12d %12d %7.1f%%\n" n probed dense prior
+        (if dense = 0 then 0.0
+         else 100.0 *. float_of_int (dense - prior) /. float_of_int dense))
+    prior_rows;
+  Printf.printf
+    "  prior hashes strictly fewer indices on %d/%d targets (boundaries \
+     identical)\n"
+    prior_wins (List.length names);
   let json =
     Printf.sprintf
       "{\n\
@@ -1552,6 +1729,8 @@ let snapshot_matrix () =
       \  \"max_execs\": %d,\n\
       \  \"seed\": 7,\n\
       \  \"targets\": [\n%s\n  ],\n\
+      \  \"probe_prior\": [\n%s\n  ],\n\
+      \  \"prior_strictly_fewer\": %d,\n\
       \  \"dynamic_wins\": %d,\n\
       \  \"matrix_size\": %d\n\
        }"
@@ -1581,7 +1760,15 @@ let snapshot_matrix () =
                           placement)
                       per_policy)))
             rows))
-      !wins (List.length names)
+      (String.concat ",\n"
+         (List.map
+            (fun (n, probed, dense, prior) ->
+              Printf.sprintf
+                "    {\"target\": %S, \"programs\": %d, \"hashes_dense\": %d, \
+                 \"hashes_prior\": %d, \"boundaries_identical\": true}"
+                n probed dense prior)
+            prior_rows))
+      prior_wins !wins (List.length names)
   in
   let path = "BENCH_snapshot.json" in
   let oc = open_out path in
@@ -1596,7 +1783,13 @@ let snapshot_matrix () =
         (Printf.sprintf
            "snapshot_matrix: dynamic beat the best static policy on only %d/%d \
             targets (gate requires at least half)"
-           !wins (List.length names))
+           !wins (List.length names));
+    if prior_wins * 2 < List.length names then
+      failwith
+        (Printf.sprintf
+           "snapshot_matrix: static prior hashed strictly fewer indices on only \
+            %d/%d targets (gate requires at least half)"
+           prior_wins (List.length names))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1622,6 +1815,7 @@ let experiments =
     ("snapshot_matrix", snapshot_matrix);
     ("hotpath", hotpath);
     ("faultcheck", faultcheck);
+    ("statecheck", statecheck);
   ]
 
 (* Experiments whose cells come from the shared fuzzer x target matrix. *)

@@ -2,18 +2,14 @@
    the repo's domain-safety annotation (see Nyx_analysis.Source_lint).
    Usage: domain_lint [DIR|FILE]...  (default: lib). Exit 1 on findings. *)
 
-let rec ml_files path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list
-    |> List.concat_map (fun f -> ml_files (Filename.concat path f))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
-
 let () =
   let roots =
     match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
   in
-  let files = List.concat_map ml_files roots |> List.sort compare in
+  let files =
+    List.concat_map Nyx_analysis.Source_lint.ml_files_under roots
+    |> List.sort compare
+  in
   let findings = List.concat_map Nyx_analysis.Source_lint.lint_file files in
   List.iter (fun f -> Format.printf "%a@." Nyx_analysis.Source_lint.pp_finding f) findings;
   if findings <> [] then begin

@@ -480,11 +480,25 @@ let lint_cmd =
     let doc = "Emit the findings report as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let graph_dot_arg =
+    let doc =
+      "Write the static protocol state graphs of the audited specs (Graphviz \
+       DOT, one digraph per spec) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "graph-dot" ] ~docv:"PATH" ~doc)
+  in
+  let graph_json_arg =
+    let doc =
+      "Write the static protocol state graphs of the audited specs (JSON \
+       array) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "graph-json" ] ~docv:"PATH" ~doc)
+  in
   let lint_target_arg =
     let doc = "Audit a single target's seed programs. " ^ targets_doc in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
   in
-  let run all json target seeds_file =
+  let run all json graph_dot graph_json target seeds_file =
     let ( let* ) = Result.bind in
     let ns = Nyx_core.Campaign.net_spec () in
     let ipc = Nyx_targets.Ipc_spec.create () in
@@ -492,9 +506,13 @@ let lint_cmd =
       e.Nyx_targets.Registry.target.Nyx_targets.Target.info.Nyx_targets.Target.name
     in
     let audit_seeds entry =
+      let udp =
+        entry.Nyx_targets.Registry.target.Nyx_targets.Target.info
+          .Nyx_targets.Target.proto = Nyx_netemu.Net.Udp
+      in
       List.mapi
         (fun i p ->
-          Nyx_analysis.Audit.program
+          Nyx_analysis.Audit.program ~udp
             ~subject:(Printf.sprintf "%s/seed[%d]" (entry_name entry) i)
             p)
         (Nyx_targets.Registry.seed_programs entry ns)
@@ -545,6 +563,31 @@ let lint_cmd =
     match result with
     | Error (`Msg m) -> `Error (false, m)
     | Ok audit ->
+      let specs = [ ns.Nyx_spec.Net_spec.spec; ipc.Nyx_targets.Ipc_spec.spec ] in
+      let write path content =
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        if not json then Format.printf "wrote %s@." path
+      in
+      Option.iter
+        (fun path ->
+          write path
+            (String.concat "\n"
+               (List.map
+                  (fun s -> Nyx_analysis.State_graph.(to_dot (build s)))
+                  specs)))
+        graph_dot;
+      Option.iter
+        (fun path ->
+          write path
+            ("["
+            ^ String.concat ","
+                (List.map
+                   (fun s -> Nyx_analysis.State_graph.(to_json (build s)))
+                   specs)
+            ^ "]"))
+        graph_json;
       if json then print_endline (Nyx_analysis.Audit.to_json audit)
       else Format.printf "%a" Nyx_analysis.Audit.pp audit;
       (* Lint failure is exit code 1 (distinct from cmdliner's CLI-error
@@ -558,7 +601,10 @@ let lint_cmd =
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ all_arg $ json_arg $ lint_target_arg $ seeds_arg))
+    Term.(
+      ret
+        (const run $ all_arg $ json_arg $ graph_dot_arg $ graph_json_arg
+       $ lint_target_arg $ seeds_arg))
 
 let main =
   let doc = "Nyx-Net: network fuzzing with incremental snapshots (OCaml reproduction)" in

@@ -2,8 +2,10 @@ type entry = { subject : string; diags : Diag.t list }
 
 type t = { entries : entry list }
 
-let program ~subject p = { subject; diags = Verifier.check p }
-let spec ~subject s = { subject; diags = Spec_lint.check s }
+let program ?udp ~subject p =
+  { subject; diags = Verifier.check p @ Dataflow.check ?udp p }
+
+let spec ~subject s = { subject; diags = Spec_lint.check s @ State_graph.check s }
 
 let capture ~subject net_spec dissector cap =
   program ~subject (Nyx_pcap.Importer.to_seed net_spec dissector cap)

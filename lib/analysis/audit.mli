@@ -7,11 +7,12 @@ type entry = { subject : string; diags : Diag.t list }
 
 type t
 
-val program : subject:string -> Nyx_spec.Program.t -> entry
-(** Verifier findings for one program. *)
+val program : ?udp:bool -> subject:string -> Nyx_spec.Program.t -> entry
+(** Verifier + {!Dataflow} typestate findings for one program. [udp]
+    marks the target transport for the inertness classification. *)
 
 val spec : subject:string -> Nyx_spec.Spec.t -> entry
-(** Spec-linter findings for one spec declaration. *)
+(** Spec-linter + {!State_graph} findings for one spec declaration. *)
 
 val capture :
   subject:string ->

@@ -160,6 +160,22 @@ let lint_file path =
   in
   lint_string ~file:path contents
 
+(* Source-tree walk for lint drivers. Build/VCS/switch directories are
+   skipped wherever they appear — handing the repo root (or `.`) to a
+   lint must never descend into `_build` and lint generated copies of
+   the sources it just linted. *)
+let skip_dir name =
+  name = "_build" || name = "_opam" || name = ".git"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun f ->
+           if skip_dir f then [] else ml_files_under (Filename.concat path f))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
 let pp_finding ppf f =
   Format.fprintf ppf
     "%s:%d: top-level binding `%s` allocates mutable state (%s) without a %S \

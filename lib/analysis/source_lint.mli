@@ -28,4 +28,10 @@ val lint_string : file:string -> string -> finding list
 val lint_file : string -> finding list
 (** Read and lint one [.ml] file. *)
 
+val ml_files_under : string -> string list
+(** All [.ml] files under a path (a file is returned as itself),
+    deterministic order, skipping [_build], [_opam], [.git] and any
+    other dot-directory at every level — so lint drivers handed [.] or
+    a parent directory never descend into build artifacts. *)
+
 val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,239 @@
+open Nyx_spec
+
+(* Static protocol state machine derived from a spec declaration.
+
+   An abstract state is the *set of edge types with at least one live
+   value* (a bitmask over [et_id]s); the start state is the empty set. A
+   node type is enabled in a state when every input edge type is present,
+   and only constructible nodes (the [Spec_lint] fixpoint) transition at
+   all — an unconstructible opcode never appears in any program. Firing a
+   node adds its output types; a consumed type *may* disappear (the
+   consumed value might be the last of its type) or *may* survive
+   (another value of the type is still live), so consuming transitions
+   branch both ways. The result over-approximates the set of abstract
+   state paths any valid program can take, which is what makes
+   reachability, dead states and chatter regions meaningful as spec
+   lints. *)
+
+type transition = { src : int; node : Spec.node_ty; dst : int }
+
+type t = {
+  spec_name : string;
+  edge_types : (int * string) list; (* et_id, name — sorted by id *)
+  states : int list; (* reachable state masks, sorted *)
+  transitions : transition list;
+  dead : int list; (* reachable states with no enabled transition *)
+  chatter : int list list; (* SCCs that contain a cycle, each sorted *)
+}
+
+let max_edge_types = 60
+
+let edge_types_of (nodes : Spec.node_ty array) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (nt : Spec.node_ty) ->
+      List.iter
+        (fun (e : Spec.edge_ty) -> Hashtbl.replace tbl e.Spec.et_id e.Spec.et_name)
+        (nt.Spec.borrows @ nt.Spec.consumes @ nt.Spec.outputs))
+    nodes;
+  Hashtbl.fold (fun id name acc -> (id, name) :: acc) tbl []
+  |> List.sort compare
+
+let mask_of edges =
+  List.fold_left (fun m (e : Spec.edge_ty) -> m lor (1 lsl e.Spec.et_id)) 0 edges
+
+(* Tarjan SCC over the reachable state graph; returns the components that
+   actually contain a cycle (size > 1, or a self-loop) — the "chatter"
+   regions where programs can loop without leaving the abstract state
+   set, i.e. where only the dynamic probe can tell boundaries apart. *)
+let chatter_sccs states succs self_loops =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) states;
+  List.rev !sccs
+  |> List.filter (fun scc ->
+         match scc with
+         | [ s ] -> List.mem s self_loops
+         | _ -> List.length scc > 1)
+  |> List.map (List.sort compare)
+
+let build (spec : Spec.t) =
+  let nodes = Spec.nodes spec in
+  List.iter
+    (fun (id, _) ->
+      if id < 0 || id >= max_edge_types then
+        invalid_arg "State_graph.build: edge-type id out of bitmask range")
+    (edge_types_of nodes);
+  let constructible, _ = Spec_lint.constructible_nodes nodes in
+  let fireable =
+    Array.to_list nodes
+    |> List.filter (fun (nt : Spec.node_ty) ->
+           nt.Spec.nt_id <> Spec.snapshot_node_id && constructible.(nt.Spec.nt_id))
+  in
+  let seen = Hashtbl.create 64 in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.replace seen 0 ();
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (nt : Spec.node_ty) ->
+        let needs = mask_of (nt.Spec.borrows @ nt.Spec.consumes) in
+        if needs land s = needs then begin
+          let out = mask_of nt.Spec.outputs in
+          let cons = mask_of nt.Spec.consumes in
+          let dsts =
+            if cons = 0 then [ s lor out ]
+            else [ s lor out; (s land lnot cons) lor out ]
+          in
+          List.sort_uniq compare dsts
+          |> List.iter (fun dst ->
+                 transitions := { src = s; node = nt; dst } :: !transitions;
+                 if not (Hashtbl.mem seen dst) then begin
+                   Hashtbl.replace seen dst ();
+                   Queue.add dst queue
+                 end)
+        end)
+      fireable
+  done;
+  let states = Hashtbl.fold (fun s () acc -> s :: acc) seen [] |> List.sort compare in
+  let transitions = List.rev !transitions in
+  let dead =
+    List.filter (fun s -> not (List.exists (fun t -> t.src = s) transitions)) states
+  in
+  let succs v =
+    List.filter_map (fun t -> if t.src = v then Some t.dst else None) transitions
+    |> List.sort_uniq compare
+  in
+  let self_loops = List.filter (fun s -> List.mem s (succs s)) states in
+  let chatter = chatter_sccs states succs self_loops in
+  {
+    spec_name = Spec.name spec;
+    edge_types = edge_types_of nodes;
+    states;
+    transitions;
+    dead;
+    chatter;
+  }
+
+let state_count t = List.length t.states
+let dead_states t = t.dead
+let chatter_regions t = t.chatter
+let reachable t = t.states
+
+let state_label t mask =
+  if mask = 0 then "{}"
+  else
+    "{"
+    ^ String.concat ","
+        (List.filter_map
+           (fun (id, name) -> if mask land (1 lsl id) <> 0 then Some name else None)
+           t.edge_types)
+    ^ "}"
+
+let check (spec : Spec.t) : Diag.t list =
+  let g = build spec in
+  List.map
+    (fun s ->
+      Diag.warning ~code:"state-graph-dead-state"
+        ~site:(Printf.sprintf "state %s" (state_label g s))
+        "abstract protocol state is reachable but enables no opcode: programs \
+         reaching it can only stop"
+    )
+    g.dead
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" t.spec_name);
+  let chatter_members = List.concat t.chatter in
+  List.iter
+    (fun s ->
+      let attrs =
+        String.concat ","
+          (List.filter_map
+             (fun x -> x)
+             [
+               Some (Printf.sprintf "label=%S" (state_label t s));
+               (if s = 0 then Some "style=bold" else None);
+               (if List.mem s t.dead then Some "color=red" else None);
+               (if List.mem s chatter_members then Some "peripheries=2" else None);
+             ])
+      in
+      Buffer.add_string buf (Printf.sprintf "  s%d [%s];\n" s attrs))
+    t.states;
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=%S];\n" tr.src tr.dst
+           tr.node.Spec.nt_name))
+    t.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  let str s = "\"" ^ Diag.json_escape s ^ "\"" in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"spec":%s,"edge_types":[%s],"state_count":%d,"states":[%s]|}
+       (str t.spec_name)
+       (String.concat ","
+          (List.map
+             (fun (id, name) -> Printf.sprintf {|{"id":%d,"name":%s}|} id (str name))
+             t.edge_types))
+       (state_count t)
+       (String.concat ","
+          (List.map
+             (fun s ->
+               Printf.sprintf
+                 {|{"mask":%d,"label":%s,"start":%b,"dead":%b,"chatter":%b}|} s
+                 (str (state_label t s))
+                 (s = 0) (List.mem s t.dead)
+                 (List.mem s (List.concat t.chatter)))
+             t.states)));
+  Buffer.add_string buf
+    (Printf.sprintf {|,"transitions":[%s],"dead_states":[%s],"chatter_regions":[%s]}|}
+       (String.concat ","
+          (List.map
+             (fun tr ->
+               Printf.sprintf {|{"src":%d,"node":%s,"dst":%d}|} tr.src
+                 (str tr.node.Spec.nt_name) tr.dst)
+             t.transitions))
+       (String.concat "," (List.map string_of_int t.dead))
+       (String.concat ","
+          (List.map
+             (fun scc -> "[" ^ String.concat "," (List.map string_of_int scc) ^ "]")
+             t.chatter)));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Static protocol state machine over a spec declaration.
+
+    Abstract states are the sets of edge types with at least one live
+    value (bitmasks over [et_id]); the start state is the empty set.
+    Transitions are the constructible non-snapshot opcodes (the
+    {!Spec_lint.constructible_nodes} fixpoint); a consumed edge type may
+    or may not disappear, so consuming opcodes branch both ways. The
+    graph over-approximates every abstract state path a valid program
+    can take — the foundation for the typestate pass in {!Dataflow} and
+    the DOT/JSON exports of the [lint] CLI. *)
+
+type transition = { src : int; node : Nyx_spec.Spec.node_ty; dst : int }
+
+type t
+
+val build : Nyx_spec.Spec.t -> t
+(** Exhaustive BFS from the empty state.
+    @raise Invalid_argument if an edge-type id exceeds the bitmask range
+    (60 edge types). *)
+
+val state_count : t -> int
+
+val reachable : t -> int list
+(** All reachable state masks, sorted. *)
+
+val dead_states : t -> int list
+(** Reachable states enabling no opcode: programs reaching one can only
+    stop. *)
+
+val chatter_regions : t -> int list list
+(** Strongly-connected components containing a cycle — regions where
+    programs can loop without changing the abstract state, i.e. where
+    only the dynamic boundary probe can tell protocol states apart. *)
+
+val state_label : t -> int -> string
+(** ["{conn,payload}"], ["{}"] for the start state. *)
+
+val check : Nyx_spec.Spec.t -> Diag.t list
+(** Spec-level findings: [state-graph-dead-state] (warning) per dead
+    state. *)
+
+val to_dot : t -> string
+val to_json : t -> string

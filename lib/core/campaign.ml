@@ -63,6 +63,11 @@ type state = {
   dict : bytes list;
   max_ops : int;
   plan : Nyx_resilience.Plan.t option;  (* armed fault plan, if any *)
+  static_prior : bool;
+      (* feed the Dataflow boundary prior to probes; off when a custom
+         op handler is installed (its effects are outside the static
+         model, so inertness claims would be unsound) *)
+  prior_udp : bool;  (* target transport, for the inertness classification *)
   prof : Nyx_obs.Profile.t option;
   ck : checkpoint_cfg option;
   mutable ck_last : int;
@@ -327,10 +332,22 @@ let dynamic_prepare st (entry_sched : Corpus.entry) ~packets =
   | `Probe ->
     prof_span st Nyx_obs.Profile.Snapshot_place (fun () ->
         prof_override st Nyx_obs.Profile.Snapshot_place (fun () ->
+            (* The static boundary prior is pure analysis — no clock
+               charge; the probe below hashes only at feasible indices. *)
+            let feasible =
+              if st.static_prior then
+                Some
+                  (Nyx_analysis.Dataflow.feasible_boundaries ~udp:st.prior_udp
+                     entry_sched.Corpus.program)
+              else None
+            in
             let boundaries =
-              Executor.state_boundaries st.exec entry_sched.Corpus.program
+              Executor.state_boundaries ?feasible st.exec
+                entry_sched.Corpus.program
             in
             Policy.set_boundaries st.policy ~input_id:entry_sched.Corpus.id
+              ~hashed:(Executor.last_probe_hashed st.exec)
+              ~skipped:(Executor.last_probe_skipped st.exec)
               ~packets ~boundaries;
             (* The probe replayed the entry once end-to-end. *)
             st.execs <- st.execs + 1;
@@ -578,6 +595,9 @@ let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
       dict;
       max_ops;
       plan;
+      static_prior = custom = None;
+      prior_udp =
+        entry.Registry.target.Target.info.Target.proto = Nyx_netemu.Net.Udp;
       prof;
       ck = checkpoint;
       ck_last = Nyx_sim.Clock.now_ns (Executor.clock exec);
@@ -777,6 +797,9 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
       dict = ckpt.Checkpoint.c_dict;
       max_ops = ckpt.Checkpoint.c_max_ops;
       plan;
+      static_prior = custom = None;
+      prior_udp =
+        entry.Registry.target.Target.info.Target.proto = Nyx_netemu.Net.Udp;
       prof;
       ck = checkpoint;
       ck_last = ckpt.Checkpoint.c_clock_ns;

@@ -137,7 +137,9 @@ let add_policy_state b (s : Policy.state) =
       add_int b v)
     b s.Policy.st_cursor;
   add_list add_dyn_state b s.Policy.st_dyn;
-  add_int b s.Policy.st_probes
+  add_int b s.Policy.st_probes;
+  add_int b s.Policy.st_probe_hashes;
+  add_int b s.Policy.st_probe_skipped
 
 let add_engine b (p : Nyx_snapshot.Engine.persisted) =
   add_int_list b p.Nyx_snapshot.Engine.p_mirror;
@@ -309,7 +311,9 @@ let get_policy_state c =
   in
   let st_dyn = get_list get_dyn_state c in
   let st_probes = get_int c in
-  { Policy.st_rng; st_cursor; st_dyn; st_probes }
+  let st_probe_hashes = get_int c in
+  let st_probe_skipped = get_int c in
+  { Policy.st_rng; st_cursor; st_dyn; st_probes; st_probe_hashes; st_probe_skipped }
 
 let get_engine c =
   let p_mirror = get_int_list c in

@@ -108,14 +108,28 @@ val state_hash : t -> int
     fuzzy aux-state signature folded with the target's state-code
     annotation. Charges virtual time. *)
 
-val state_boundaries : t -> Nyx_spec.Program.t -> int list
+val state_boundaries : ?feasible:int list -> t -> Nyx_spec.Program.t -> int list
 (** Single-step the program (snapshots stripped) from the root snapshot,
     hashing the protocol state after every packet. Returns the ascending
     interior packet indices [1 <= i <= packets-1] where the hash changed —
     the state-machine boundaries the dynamic placement policy snaps
     candidate snapshot points to. A crash mid-probe truncates the list.
     Leaves the instance reset to the root. Costs (replay + hashing) are
-    charged to the virtual clock. *)
+    charged to the virtual clock.
+
+    [feasible] is the static boundary prior
+    ({!Nyx_analysis.Dataflow.feasible_boundaries}): only those indices
+    are hashed — sound because a statically inert op cannot move the
+    hash — cutting the probe's hashing cost without changing the result.
+    Under [NYX_SANITIZE] the skipped indices are shadow-hashed off the
+    virtual clock as a conformance check; a hash move at one raises
+    {!Nyx_spec.Interp.Violation} with code [state-boundary-escape]. *)
+
+val last_probe_hashed : t -> int
+(** State hashes taken by the most recent {!state_boundaries} probe. *)
+
+val last_probe_skipped : t -> int
+(** Indices the static prior let the most recent probe skip. *)
 
 val last_snapshot_pages : t -> int
 (** Pages copied by this instance's most recent incremental snapshot

@@ -31,6 +31,8 @@ type t = {
   cursor : (int, int) Hashtbl.t; (* aggressive: input id -> snapshot index *)
   dyn : (int, dyn) Hashtbl.t; (* dynamic: input id -> adaptive state *)
   mutable probes : int;
+  mutable probe_hashes : int; (* state hashes taken across all probes *)
+  mutable probe_skipped : int; (* hashes the static prior saved *)
   mutable last_move : (int * int * int) option; (* input, from, to *)
 }
 
@@ -51,7 +53,7 @@ let reuse_count = 50
 
 let create kind rng =
   { kind; rng; cursor = Hashtbl.create 64; dyn = Hashtbl.create 64; probes = 0;
-    last_move = None }
+    probe_hashes = 0; probe_skipped = 0; last_move = None }
 
 let kind t = t.kind
 let is_dynamic t = t.kind = Dynamic
@@ -92,10 +94,12 @@ let prepare_dynamic t ~input_id ~packets ~full_ns =
     let d = dyn_entry t ~input_id ~full_ns in
     if d.db_probed then `Ready else `Probe
 
-let set_boundaries t ~input_id ~packets ~boundaries =
+let set_boundaries ?(hashed = 0) ?(skipped = 0) t ~input_id ~packets ~boundaries =
   match Hashtbl.find_opt t.dyn input_id with
   | None -> ()
   | Some d ->
+    t.probe_hashes <- t.probe_hashes + hashed;
+    t.probe_skipped <- t.probe_skipped + skipped;
     let interior = List.filter (fun i -> i >= 1 && i <= packets - 1) boundaries in
     let cands =
       match interior with [] -> [| packets - 1 |] | l -> Array.of_list l
@@ -292,6 +296,8 @@ let placement_stats t =
     Some
       {
         Report.probes = t.probes;
+        probe_hashes = t.probe_hashes;
+        probe_hashes_skipped = t.probe_skipped;
         moves = !moves;
         boundary_count = !bounds;
         placements = List.sort compare !placements;
@@ -325,6 +331,8 @@ type state = {
   st_cursor : (int * int) list;
   st_dyn : dyn_state list;
   st_probes : int;
+  st_probe_hashes : int;
+  st_probe_skipped : int;
 }
 
 let checkpoint_state t =
@@ -355,6 +363,8 @@ let checkpoint_state t =
              :: acc)
            t.dyn []);
     st_probes = t.probes;
+    st_probe_hashes = t.probe_hashes;
+    st_probe_skipped = t.probe_skipped;
   }
 
 let restore_state t s =
@@ -382,4 +392,6 @@ let restore_state t s =
         })
     s.st_dyn;
   t.probes <- s.st_probes;
+  t.probe_hashes <- s.st_probe_hashes;
+  t.probe_skipped <- s.st_probe_skipped;
   t.last_move <- None

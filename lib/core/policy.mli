@@ -73,10 +73,21 @@ val prepare_dynamic :
     state-boundary probe — run {!Executor.state_boundaries} and feed the
     result to {!set_boundaries} before {!decide}. *)
 
-val set_boundaries : t -> input_id:int -> packets:int -> boundaries:int list -> unit
+val set_boundaries :
+  ?hashed:int ->
+  ?skipped:int ->
+  t ->
+  input_id:int ->
+  packets:int ->
+  boundaries:int list ->
+  unit
 (** Record the probe's result. Indices are clamped to the interior
     [1..packets-1]; an empty result degrades to the single candidate
-    [packets-1] (deepest placement — the aggressive heuristic). *)
+    [packets-1] (deepest placement — the aggressive heuristic).
+    [hashed]/[skipped] are the probe's hash counts
+    ({!Executor.last_probe_hashed}/[last_probe_skipped]), accumulated
+    into {!placement_stats} to surface what the static boundary prior
+    saved. *)
 
 val observe_full : t -> input_id:int -> ns:int -> unit
 (** Fold a measured full (root) execution into the entry's EWMA. *)
@@ -121,6 +132,8 @@ type state = {
   st_cursor : (int * int) list;  (** aggressive cursor, sorted by input id *)
   st_dyn : dyn_state list;  (** dynamic table, sorted by input id *)
   st_probes : int;
+  st_probe_hashes : int;
+  st_probe_skipped : int;
 }
 
 val checkpoint_state : t -> state

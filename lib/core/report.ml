@@ -21,6 +21,8 @@ type resilience = {
 
 type placement_stats = {
   probes : int;
+  probe_hashes : int; (* state hashes taken across all boundary probes *)
+  probe_hashes_skipped : int; (* hashes the static boundary prior saved *)
   moves : int;
   boundary_count : int;
   placements : (int * int) list;

@@ -30,6 +30,9 @@ type resilience = {
 
 type placement_stats = {
   probes : int;  (** state-boundary probes run (one per long-enough entry) *)
+  probe_hashes : int;  (** state hashes the probes took *)
+  probe_hashes_skipped : int;
+      (** hashes the static boundary prior let the probes skip *)
   moves : int;  (** snapshot relocations after the initial placement *)
   boundary_count : int;  (** protocol-state boundaries the probes found *)
   placements : (int * int) list;

@@ -69,7 +69,18 @@ let register_aux t aux =
       Nyx_snapshot.Aux_state.name = "netemu";
       save = (fun () -> Marshal.to_bytes t.st []);
       load = (fun b -> t.st <- Marshal.from_bytes b 0);
-    }
+    };
+  (* The syscall counter is pure telemetry: it advances on every poll, so
+     leaving it in the hashed image would make every op look like a new
+     protocol state (the Marshal varint grows and shifts all later bytes
+     across hash chunks). Zero it for the hash view only — snapshots keep
+     capturing the exact state. *)
+  Nyx_snapshot.Aux_state.register_hash_view aux ~name:"netemu" (fun () ->
+      let saved = t.st.syscalls in
+      t.st.syscalls <- 0;
+      Fun.protect
+        ~finally:(fun () -> t.st.syscalls <- saved)
+        (fun () -> Marshal.to_bytes t.st []))
 
 let charge t cost_real =
   t.st.syscalls <- t.st.syscalls + 1;

@@ -1,12 +1,18 @@
 type handler = { name : string; save : unit -> bytes; load : bytes -> unit }
 
-type t = { mutable handlers : handler list (* reversed *) }
+type t = {
+  mutable handlers : handler list; (* reversed *)
+  mutable hash_views : (string * (unit -> bytes)) list;
+}
 
 type capture = (string * bytes) list
 
-let create () = { handlers = [] }
+let create () = { handlers = []; hash_views = [] }
 
 let register t h = t.handlers <- h :: t.handlers
+
+let register_hash_view t ~name view =
+  t.hash_views <- (name, view) :: List.remove_assoc name t.hash_views
 
 let in_order t = List.rev t.handlers
 
@@ -14,6 +20,23 @@ let capture t clock =
   List.map
     (fun h ->
       let b = h.save () in
+      Nyx_sim.Clock.advance clock (Nyx_sim.Cost.aux_state_per_byte (Bytes.length b));
+      (h.name, b))
+    (in_order t)
+
+(* Like [capture], but a handler that registered a hash view is read
+   through it instead of [save]. The view lets a component present a
+   *normalized* byte image to the fuzzy protocol-state hash (telemetry
+   counters zeroed) while snapshots keep capturing the exact state.
+   Charges the same per-byte cost as a capture of the viewed bytes. *)
+let hash_capture t clock =
+  List.map
+    (fun h ->
+      let b =
+        match List.assoc_opt h.name t.hash_views with
+        | Some view -> view ()
+        | None -> h.save ()
+      in
       Nyx_sim.Clock.advance clock (Nyx_sim.Cost.aux_state_per_byte (Bytes.length b));
       (h.name, b))
     (in_order t)

@@ -19,10 +19,22 @@ val create : unit -> t
 val register : t -> handler -> unit
 (** Handlers are captured/restored in registration order. *)
 
+val register_hash_view : t -> name:string -> (unit -> bytes) -> unit
+(** Attach a normalized byte view to the handler named [name], used by
+    {!hash_capture} in place of [save]. Lets a component exclude pure
+    telemetry (e.g. a syscall counter) from the protocol-state signature
+    while snapshots keep capturing the exact state. Re-registering under
+    the same name replaces the previous view. *)
+
 type capture
 
 val capture : t -> Nyx_sim.Clock.t -> capture
 (** Snapshot all registered state, charging per byte. *)
+
+val hash_capture : t -> Nyx_sim.Clock.t -> capture
+(** Like {!capture}, but handlers with a registered hash view are read
+    through it. Input to {!fuzzy_hash} only — never {!restore}. Charges
+    per byte of the viewed image. *)
 
 val restore : t -> Nyx_sim.Clock.t -> capture -> unit
 (** Restore a previous capture, charging per byte.

@@ -172,7 +172,7 @@ let target rt = rt.t
    cost, all on the virtual clock, so probing is deterministic. *)
 let state_hash ctx aux =
   Nyx_sim.Clock.advance ctx.Ctx.clock Nyx_sim.Cost.state_hash;
-  let cap = Nyx_snapshot.Aux_state.capture aux ctx.Ctx.clock in
+  let cap = Nyx_snapshot.Aux_state.hash_capture aux ctx.Ctx.clock in
   (Nyx_snapshot.Aux_state.fuzzy_hash cap lxor Ctx.state_signature ctx) land max_int
 
 let sample_capture_of_packets ?(stream = 0) packets =

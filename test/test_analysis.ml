@@ -318,6 +318,132 @@ let test_source_lint_multiline_rhs () =
   Alcotest.(check int) "continuation lines scanned" 1 (List.length fs);
   Alcotest.(check string) "pattern" "Hashtbl.create" (List.hd fs).Source_lint.pattern
 
+let test_ml_files_under_skips_build_dirs () =
+  let root = Filename.temp_file "nyx_lint" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o755;
+  let mkdir d = Unix.mkdir (Filename.concat root d) 0o755 in
+  let touch f = close_out (open_out (Filename.concat root f)) in
+  List.iter mkdir [ "sub"; "_build"; "_opam"; ".git" ];
+  Unix.mkdir (Filename.concat root "_build/default") 0o755;
+  List.iter touch
+    [
+      "a.ml"; "notes.txt"; "sub/b.ml"; "_build/default/gen.ml"; "_opam/pkg.ml";
+      ".git/hook.ml";
+    ];
+  let found =
+    List.map
+      (fun p -> String.sub p (String.length root + 1) (String.length p - String.length root - 1))
+      (Source_lint.ml_files_under root)
+  in
+  Alcotest.(check (list string))
+    "only real sources, deterministic order" [ "a.ml"; "sub/b.ml" ] found;
+  let single = Source_lint.ml_files_under (Filename.concat root "a.ml") in
+  Alcotest.(check int) "a file is returned as itself" 1 (List.length single)
+
+(* --- static protocol state graph --- *)
+
+let test_state_graph_net_spec () =
+  let ns = net () in
+  let g = State_graph.build ns.Net_spec.spec in
+  (* Raw network protocol: {} <-> {connection}. *)
+  Alcotest.(check int) "two abstract states" 2 (State_graph.state_count g);
+  Alcotest.(check (list int)) "no dead states" [] (State_graph.dead_states g);
+  Alcotest.(check bool) "close/connect cycle is a chatter region" true
+    (State_graph.chatter_regions g <> []);
+  Alcotest.(check (list string)) "shipped spec graph is lint-clean" []
+    (codes (State_graph.check ns.Net_spec.spec));
+  let dot = State_graph.to_dot g in
+  Alcotest.(check bool) "dot names the transitions" true
+    (contains dot "label=\"connect\"" && contains dot "label=\"packet\"");
+  let json = State_graph.to_json g in
+  Alcotest.(check bool) "json carries the state count" true
+    (contains json "\"state_count\":2")
+
+let test_state_graph_dead_state () =
+  (* Every node needs a conn but nothing can produce one: the start
+     state enables no opcode — every program over this spec is empty. *)
+  let b = Spec.start "dead-end" in
+  let conn = Spec.edge_type b "conn" in
+  let _ = Spec.node_type b ~borrows:[ conn ] "use" in
+  let spec = Spec.finalize b in
+  let g = State_graph.build spec in
+  Alcotest.(check (list int)) "start state is dead" [ 0 ] (State_graph.dead_states g);
+  check_code "dead state warning" "state-graph-dead-state" (State_graph.check spec)
+
+(* --- dataflow typestate pass --- *)
+
+let test_dataflow_affecting_classification () =
+  let ns = net () in
+  (* connect / data packet / two empty packets on the drained conn. *)
+  let p =
+    prog ns
+      [
+        connect_op ns; packet_op ns 0 "USER x"; op ns.Net_spec.packet.Spec.nt_id
+          [| 0 |] (payload ""); op ns.Net_spec.packet.Spec.nt_id [| 0 |] (payload "");
+      ]
+  in
+  Alcotest.(check (list bool))
+    "only empty packets on a drained conn are inert" [ true; true; false; false ]
+    (Array.to_list (Dataflow.affecting p));
+  Alcotest.(check (list int)) "feasible boundaries" [ 1; 2 ]
+    (Dataflow.feasible_boundaries p);
+  (* UDP delivers empty datagrams: nothing is inert. *)
+  Alcotest.(check (list int)) "udp keeps every interior index" [ 1; 2; 3 ]
+    (Dataflow.feasible_boundaries ~udp:true p);
+  (* An empty packet on an undrained conn still drains it: affecting. *)
+  let p2 =
+    prog ns [ connect_op ns; op ns.Net_spec.packet.Spec.nt_id [| 0 |] (payload "") ]
+  in
+  Alcotest.(check (list bool)) "first empty packet drains the banner"
+    [ true; true ]
+    (Array.to_list (Dataflow.affecting p2))
+
+let test_dataflow_state_path () =
+  let ns = net () in
+  let p = prog ns [ connect_op ns; packet_op ns 0 "x"; close_op ns 0 ] in
+  let conn_bit = 1 lsl ns.Net_spec.conn.Spec.et_id in
+  Alcotest.(check (list int)) "live edge-type path"
+    [ 0; conn_bit; conn_bit; 0 ]
+    (Array.to_list (Dataflow.state_path p))
+
+let test_dataflow_state_unreachable_op () =
+  let ns = net () in
+  check_code "packet before any connect" "state-unreachable-op"
+    (Dataflow.check (prog ns [ packet_op ns 0 "x" ]));
+  Alcotest.(check (list string)) "valid program emits nothing" []
+    (codes (Dataflow.check (prog ns [ connect_op ns; packet_op ns 0 "x" ])))
+
+let test_dataflow_redundant_prefix () =
+  let ns = net () in
+  let empty_pkt = op ns.Net_spec.packet.Spec.nt_id [| 0 |] (payload "") in
+  let diags =
+    Dataflow.check
+      (prog ns [ connect_op ns; packet_op ns 0 "x"; empty_pkt; empty_pkt ])
+  in
+  check_code "inert run flagged" "redundant-prefix" diags;
+  let d = List.find (fun d -> d.Diag.code = "redundant-prefix") diags in
+  Alcotest.(check bool) "names the run" true (contains d.Diag.msg "2..3")
+
+let test_dataflow_snapshot_past_last_transition () =
+  let ns = net () in
+  let empty_pkt = op ns.Net_spec.packet.Spec.nt_id [| 0 |] (payload "") in
+  let diags =
+    Dataflow.check
+      (prog ns
+         [ connect_op ns; packet_op ns 0 "x"; empty_pkt; snapshot_op; empty_pkt ])
+  in
+  check_code "snapshot beyond last feasible boundary"
+    "snapshot-past-last-transition" diags;
+  (* Snapshot at a feasible boundary is quiet. *)
+  let ok =
+    Dataflow.check
+      (prog ns
+         [ connect_op ns; snapshot_op; packet_op ns 0 "x"; empty_pkt; empty_pkt ])
+  in
+  Alcotest.(check bool) "well-placed snapshot is quiet" false
+    (has_code "snapshot-past-last-transition" ok)
+
 let () =
   Alcotest.run "nyx_analysis"
     [
@@ -369,5 +495,23 @@ let () =
             test_source_lint_ignores_functions_and_closures;
           Alcotest.test_case "word boundaries" `Quick test_source_lint_word_boundaries;
           Alcotest.test_case "multiline rhs" `Quick test_source_lint_multiline_rhs;
+          Alcotest.test_case "ml_files_under skips build dirs" `Quick
+            test_ml_files_under_skips_build_dirs;
+        ] );
+      ( "state-graph",
+        [
+          Alcotest.test_case "net spec graph" `Quick test_state_graph_net_spec;
+          Alcotest.test_case "dead state detected" `Quick test_state_graph_dead_state;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "affecting classification" `Quick
+            test_dataflow_affecting_classification;
+          Alcotest.test_case "abstract state path" `Quick test_dataflow_state_path;
+          Alcotest.test_case "state-unreachable-op" `Quick
+            test_dataflow_state_unreachable_op;
+          Alcotest.test_case "redundant-prefix" `Quick test_dataflow_redundant_prefix;
+          Alcotest.test_case "snapshot-past-last-transition" `Quick
+            test_dataflow_snapshot_past_last_transition;
         ] );
     ]

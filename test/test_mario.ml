@@ -118,6 +118,7 @@ let test_no_double_jump () =
   hold ~frames:120 game 0;
   check_int "eventually grounded" ground_y (Game.y_px game)
 
+(* domain-safe: test-only lazy fixture, forced on a single domain *)
 let gap_level =
   lazy
     (Level.parse ~name:"gap-test"

@@ -1,0 +1,103 @@
+(* Minimizer coverage: a synthetic crash oracle (crash iff some payload
+   contains the "BOOM" token) exercises the shrinker without an
+   executor, so qcheck can afford hundreds of minimizations. The
+   invariants under test: the minimized program still satisfies the
+   predicate, is verifier-clean (drop_ops must repair references, not
+   leave dangling args), and is never larger than the input. *)
+
+open Nyx_core
+
+(* domain-safe: test-only lazy fixture, forced on a single domain *)
+let ns = lazy (Campaign.net_spec ())
+
+let program_of packets =
+  Nyx_spec.Net_spec.seed_of_packets (Lazy.force ns)
+    (List.map Bytes.of_string packets)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+(* The synthetic target: crashes iff any data field carries "BOOM". *)
+let boom_run (p : Nyx_spec.Program.t) =
+  let hit =
+    Array.exists
+      (fun (op : Nyx_spec.Program.op) ->
+        Array.exists
+          (fun d -> contains ~needle:"BOOM" (Bytes.to_string d))
+          op.Nyx_spec.Program.data)
+      p.Nyx_spec.Program.ops
+  in
+  {
+    Report.status =
+      (if hit then Report.Crash { kind = "boom"; detail = "token" } else Report.Pass);
+    exec_ns = 1;
+    state_code = 0;
+  }
+
+let keep = Minimizer.keep_crash_kind "boom"
+
+let test_golden_fixed_seed () =
+  (* Deterministic input, deterministic shrink: the witness collapses to
+     a single packet carrying exactly the four BOOM bytes. *)
+  let noisy =
+    program_of
+      [ "USER anon\r\n"; "MODE raw\r\n"; "xxBOOMyy"; "QUIT\r\n"; "trailing noise\r\n" ]
+  in
+  let minimized, execs = Minimizer.minimize ~run:boom_run ~keep noisy in
+  Alcotest.(check bool) "verification executions spent" true (execs > 1);
+  Alcotest.(check bool) "still a witness" true (keep (boom_run minimized));
+  Alcotest.(check bool) "verifier-clean" true
+    (Nyx_analysis.Verifier.is_clean minimized);
+  Alcotest.(check bool) "smaller" true
+    (Minimizer.serialized_size minimized < Minimizer.serialized_size noisy);
+  let payload =
+    Array.to_list minimized.Nyx_spec.Program.ops
+    |> List.concat_map (fun (op : Nyx_spec.Program.op) ->
+           Array.to_list op.Nyx_spec.Program.data)
+    |> List.map Bytes.to_string |> String.concat ""
+  in
+  Alcotest.(check string) "payload shrunk to the token" "BOOM" payload
+
+(* domain-safe: qcheck property closure, run on a single domain *)
+let prop_minimized_witness_is_clean =
+  QCheck.Test.make ~name:"minimized witness still crashes and is verifier-clean"
+    ~count:100 QCheck.small_int (fun seed ->
+      let rng = Nyx_sim.Rng.create (seed + 1) in
+      let rand_packet () =
+        let len = Nyx_sim.Rng.int rng 12 in
+        String.init len (fun _ -> Char.chr (97 + Nyx_sim.Rng.int rng 26))
+      in
+      let n = 1 + Nyx_sim.Rng.int rng 6 in
+      let packets = List.init n (fun _ -> rand_packet ()) in
+      let slot = Nyx_sim.Rng.int rng n in
+      let packets =
+        List.mapi
+          (fun i p -> if i = slot then p ^ "BOOM" ^ rand_packet () else p)
+          packets
+      in
+      let p = program_of packets in
+      let minimized, _ = Minimizer.minimize ~run:boom_run ~keep p in
+      keep (boom_run minimized)
+      && Nyx_analysis.Verifier.is_clean minimized
+      && Minimizer.serialized_size minimized <= Minimizer.serialized_size p)
+
+let test_rejects_non_witness () =
+  let benign = program_of [ "hello\r\n" ] in
+  Alcotest.check_raises "not a witness"
+    (Invalid_argument "Minimizer.minimize: program does not satisfy the predicate")
+    (fun () -> ignore (Minimizer.minimize ~run:boom_run ~keep benign))
+
+let () =
+  Alcotest.run "nyx_minimizer"
+    [
+      ( "minimizer",
+        [
+          Alcotest.test_case "fixed-seed golden" `Quick test_golden_fixed_seed;
+          Alcotest.test_case "rejects non-witness" `Quick test_rejects_non_witness;
+          QCheck_alcotest.to_alcotest prop_minimized_witness_is_clean;
+        ] );
+    ]

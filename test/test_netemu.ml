@@ -262,6 +262,7 @@ let test_names_and_options () =
   check_int "last write wins" 0 (Net.getsockopt net lfd "SO_REUSEADDR");
   check_int "other option kept" 1 (Net.getsockopt net lfd "TCP_NODELAY")
 
+(* domain-safe: qcheck property closure, run on a single domain *)
 let prop_boundary_sequence =
   QCheck.Test.make ~name:"packet sequence is received intact and in order" ~count:100
     QCheck.(small_list (string_of_size QCheck.Gen.(int_range 1 32)))

@@ -293,6 +293,7 @@ let ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "checkpoint load failed: %s" e
 
+(* domain-safe: test-only lazy baseline, forced on a single domain *)
 let prop_dynamic_kill_resume_bit_identical =
   let expected = lazy (Campaign.run (dyn_config ()) (ftp_entry ())) in
   QCheck.Test.make

@@ -559,7 +559,8 @@ let sample_checkpoint () =
     c_sched_rng = 0x1234_5678_9abc_def0L;
     c_mut_rng = -1L;
     c_policy_state =
-      { Policy.st_rng = 17L; st_cursor = [ (1, 2); (3, 4) ]; st_dyn = []; st_probes = 0 };
+      { Policy.st_rng = 17L; st_cursor = [ (1, 2); (3, 4) ]; st_dyn = []; st_probes = 0;
+        st_probe_hashes = 0; st_probe_skipped = 0 };
     c_corpus =
       [
         {
@@ -696,6 +697,7 @@ let test_resume_target_mismatch () =
       | _ -> Alcotest.fail "resume must reject a foreign checkpoint"
       | exception Invalid_argument _ -> ())
 
+(* domain-safe: test-only lazy baseline, forced on a single domain *)
 let prop_kill_resume_bit_identical =
   (* The ISSUE's determinism contract: kill at ANY checkpoint + resume ==
      the uninterrupted run, bit-for-bit (modulo wall clock). Exercised

@@ -401,6 +401,7 @@ let engine_op_gen =
         (2, return Root);
       ])
 
+(* domain-safe: qcheck property closure, run on a single domain *)
 let prop_engine_model =
   QCheck.Test.make ~name:"engine matches a pure model under random op sequences"
     ~count:120

@@ -230,6 +230,7 @@ let test_mutator_caps_length () =
   Alcotest.(check bool) "bounded across generations" true
     (Array.length !p.Program.ops <= 12)
 
+(* domain-safe: qcheck property closure, run on a single domain *)
 let prop_mutator_output_valid =
   QCheck.Test.make ~name:"mutated programs always validate" ~count:300 QCheck.small_int
     (fun seed ->

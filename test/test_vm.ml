@@ -126,6 +126,7 @@ let test_memory_scalar_fast_path () =
     (Memory.Fault { addr = (64 * Page.size) - 2; size = 4 }) (fun () ->
       ignore (Memory.read_i32 m ((64 * Page.size) - 2)))
 
+(* domain-safe: qcheck property closure, run on a single domain *)
 let prop_i32_fast_slow_agree =
   QCheck.Test.make ~name:"i32 scalar path = generic byte path" ~count:500
     QCheck.(pair (int_bound ((64 * 512) - 4)) int)
