@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint faultcheck statecheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench clean
+.PHONY: all check build test lint faultcheck statecheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench-mutation bench clean
 
 all: check
 
@@ -34,6 +34,7 @@ check:
 	NYX_DOMAINS=4 dune exec bench/main.exe -- parallel_smoke --budget 1 --sync-ms 100
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 	$(MAKE) bench-snapshot
+	$(MAKE) bench-mutation
 	$(MAKE) faultcheck
 	$(MAKE) statecheck
 
@@ -88,6 +89,14 @@ bench-hotpath:
 # clock), so the gate result is reproducible bit-for-bit.
 bench-snapshot:
 	NYX_BENCH_SNAP_GATE=1 dune exec bench/main.exe -- snapshot_matrix
+
+# Mutation-engine matrix: havoc vs typed (splice + generate) across the
+# protocol targets, scored by executions-to-coverage on the exec-keyed
+# timeline; the gate fails unless the typed engine reaches the per-target
+# frontier within the havoc engine's exec count on at least half the
+# matrix. Writes BENCH_mutation.json. Fully deterministic.
+bench-mutation:
+	NYX_BENCH_MUT_GATE=1 dune exec bench/main.exe -- mutation_matrix
 
 # The full paper evaluation (slow).
 bench:

@@ -6,7 +6,7 @@
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
                 ablation_remirror bechamel parallel_smoke snapshot_matrix
-                hotpath faultcheck statecheck all
+                mutation_matrix hotpath faultcheck statecheck all
    Flags:
      --budget S      parallel_smoke virtual budget in seconds
                      (default NYX_BENCH_SMOKE_BUDGET_S, then 10)
@@ -34,6 +34,13 @@
      NYX_BENCH_SNAP_GATE   if set, snapshot_matrix fails unless the dynamic
                            policy beats the best static policy (virtual
                            time-to-frontier) on at least half the targets
+     NYX_BENCH_MUT_TARGETS     comma-separated mutation_matrix target list
+     NYX_BENCH_MUT_BUDGET_S    virtual budget for mutation_matrix (default 8)
+     NYX_BENCH_MUT_MAX_EXECS   execution cap for mutation_matrix (default 25000)
+     NYX_BENCH_MUT_GATE    if set, mutation_matrix fails unless the typed
+                           engine reaches the per-target coverage frontier
+                           in <= the havoc engine's executions on at least
+                           half the targets
      NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
      NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000)
      NYX_STATECHECK_MUTANTS    statecheck mutants per seed (default 3) *)
@@ -107,6 +114,8 @@ let run_one ?(asan = false) ?(stop_on_solve = false) ?budget fuzzer entry seed =
            stop_on_solve;
            trim = false;
            sample_interval_ns = 250_000_000;
+           engine = Engines.Havoc;
+           mutator_weights = [];
          }
          entry)
   | Baseline spec -> Nyx_baselines.Fuzzers.run spec ~budget_ns ~max_execs ~seed entry
@@ -433,6 +442,8 @@ let table4 () =
            stop_on_solve = true;
            trim = false;
            sample_interval_ns = 10_000_000_000;
+           engine = Engines.Havoc;
+           mutator_weights = [];
          }
          entry)
   in
@@ -747,6 +758,8 @@ let ablation_typed_spec () =
       stop_on_solve = false;
       trim = false;
       sample_interval_ns = 1_000_000_000;
+      engine = Engines.Havoc;
+      mutator_weights = [];
     }
   in
   let time_to_uaf r =
@@ -795,6 +808,8 @@ let case_studies () =
           stop_on_solve = false;
           trim = false;
           sample_interval_ns = 1_000_000_000;
+          engine = Engines.Havoc;
+          mutator_weights = [];
         }
       in
       let r = Campaign.run cfg entry in
@@ -839,6 +854,8 @@ let faster_than_light () =
       stop_on_solve = true;
       trim = false;
       sample_interval_ns = 10_000_000_000;
+      engine = Engines.Havoc;
+      mutator_weights = [];
     }
   in
   let fleet = Fleet.run ~instances:52 ~config entry in
@@ -1605,6 +1622,8 @@ let snapshot_matrix () =
       stop_on_solve = false;
       trim = false;
       sample_interval_ns = 100_000_000;
+      engine = Engines.Havoc;
+      mutator_weights = [];
     }
   in
   Printf.printf "  %ds virtual budget, %d exec cap, targets: %s\n\n" budget_s
@@ -1792,6 +1811,165 @@ let snapshot_matrix () =
            prior_wins (List.length names))
 
 (* ------------------------------------------------------------------ *)
+(* Mutation-engine matrix: havoc vs typed on the protocol targets,
+   scored by executions-to-coverage (the exec-keyed timeline records
+   every frontier advance, so the race is exact and budget-independent).
+   The frontier per target is the weaker engine's final coverage — both
+   engines reach it, so "first exec count reaching the frontier" is a
+   fair race. When NYX_BENCH_MUT_GATE is set (the CI mutation-gate), the
+   typed engine must reach the frontier in <= the havoc engine's execs
+   on at least half the matrix. Emits BENCH_mutation.json.              *)
+
+let mut_engines = [ Engines.Havoc; Engines.Typed ]
+
+let mutation_matrix () =
+  Printf.printf
+    "\n== Mutation engine matrix: executions-to-coverage, havoc vs typed ==\n\n";
+  let budget_s = env_int "NYX_BENCH_MUT_BUDGET_S" 8 in
+  let mut_execs = env_int "NYX_BENCH_MUT_MAX_EXECS" 25_000 in
+  let budget_ns = budget_s * 1_000_000_000 in
+  let names =
+    match Sys.getenv_opt "NYX_BENCH_MUT_TARGETS" with
+    | Some s when String.trim s <> "" ->
+      List.filter (fun n -> n <> "") (String.split_on_char ',' (String.trim s))
+    | _ -> [ "exim"; "lightftp"; "live555"; "openssl"; "proftpd"; "pure-ftpd" ]
+  in
+  let cfg engine =
+    {
+      Campaign.policy = Policy.Aggressive;
+      budget_ns;
+      max_execs = mut_execs;
+      seed = 7;
+      asan = false;
+      stop_on_solve = false;
+      trim = false;
+      sample_interval_ns = 100_000_000;
+      engine;
+      mutator_weights = [];
+    }
+  in
+  Printf.printf "  %ds virtual budget, %d exec cap, seed 7, targets: %s\n\n"
+    budget_s mut_execs (String.concat " " names);
+  (* One campaign per (target, engine); each is a pure function of the
+     seed, so the fan-out is deterministic whatever NYX_DOMAINS says. *)
+  let tasks =
+    List.concat_map (fun n -> List.map (fun e -> (n, e)) mut_engines) names
+  in
+  let results =
+    Nyx_parallel.Pool.map_list
+      (fun (n, e) ->
+        let entry = Option.get (Nyx_targets.Registry.find n) in
+        (n, e, Campaign.run (cfg e) entry))
+      tasks
+  in
+  let by_target n = List.filter (fun (tn, _, _) -> tn = n) results in
+  Printf.printf "%-12s %10s" "target" "frontier";
+  List.iter (fun e -> Printf.printf " %14s" (Engines.name e)) mut_engines;
+  Printf.printf "   %s\n" "winner";
+  let wins = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let cells = by_target n in
+        let frontier =
+          List.fold_left
+            (fun acc (_, _, r) -> min acc r.Report.final_edges)
+            max_int cells
+        in
+        (* Execs at which the engine first reached the frontier; an
+           engine that never did (impossible by construction, since the
+           frontier is the min) scores its full exec count. *)
+        let tte (r : Report.campaign_result) =
+          Option.value ~default:r.Report.execs
+            (Nyx_sim.Stats.Timeline.first_time_reaching r.Report.exec_timeline
+               (float_of_int frontier))
+        in
+        let cell e =
+          let _, _, r = List.find (fun (_, e', _) -> e' = e) cells in
+          (r, tte r)
+        in
+        let per_engine = List.map (fun e -> (e, cell e)) mut_engines in
+        let typed_execs = snd (List.assoc Engines.Typed per_engine) in
+        let havoc_execs = snd (List.assoc Engines.Havoc per_engine) in
+        let typed_wins = typed_execs <= havoc_execs in
+        if typed_wins then incr wins;
+        Printf.printf "%-12s %10d" n frontier;
+        List.iter
+          (fun e ->
+            let _, t = List.assoc e per_engine in
+            Printf.printf " %13d%s" t
+              (if e = Engines.Typed && typed_wins then "*" else " "))
+          mut_engines;
+        Printf.printf "   %s\n%!" (if typed_wins then "typed" else "havoc");
+        (n, frontier, per_engine, typed_wins))
+      names
+  in
+  Printf.printf
+    "\n  typed reaches the frontier in <= havoc's execs on %d/%d targets\n"
+    !wins (List.length names);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"virtual_budget_s\": %d,\n\
+      \  \"max_execs\": %d,\n\
+      \  \"seed\": 7,\n\
+      \  \"targets\": [\n%s\n  ],\n\
+      \  \"typed_wins\": %d,\n\
+      \  \"matrix_size\": %d\n\
+       }"
+      budget_s mut_execs
+      (String.concat ",\n"
+         (List.map
+            (fun (n, frontier, per_engine, typed_wins) ->
+              Printf.sprintf
+                "    {\"target\": %S, \"frontier_edges\": %d, \"typed_wins\": %b, \
+                 \"engines\": [\n%s\n    ]}"
+                n frontier typed_wins
+                (String.concat ",\n"
+                   (List.map
+                      (fun (e, ((r : Report.campaign_result), t)) ->
+                        let mutators =
+                          match r.Report.mutation with
+                          | None -> ""
+                          | Some m ->
+                            Printf.sprintf ", \"mutators\": [%s]"
+                              (String.concat ", "
+                                 (List.map
+                                    (fun (s : Report.mutator_stat) ->
+                                      Printf.sprintf
+                                        "{\"name\": %S, \"attempts\": %d, \
+                                         \"rejected\": %d, \"accepts\": %d, \
+                                         \"credit\": %.6f}"
+                                        s.Report.mut_name s.Report.mut_attempts
+                                        s.Report.mut_rejected s.Report.mut_accepts
+                                        s.Report.mut_credit)
+                                    m.Report.mutators))
+                        in
+                        Printf.sprintf
+                          "      {\"engine\": %S, \"execs_to_frontier\": %d, \
+                           \"final_edges\": %d, \"execs\": %d%s}"
+                          (Engines.name e) t r.Report.final_edges r.Report.execs
+                          mutators)
+                      per_engine)))
+            rows))
+      !wins (List.length names)
+  in
+  let path = "BENCH_mutation.json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n" path;
+  match Sys.getenv_opt "NYX_BENCH_MUT_GATE" with
+  | None -> ()
+  | Some _ ->
+    if !wins * 2 < List.length names then
+      failwith
+        (Printf.sprintf
+           "mutation_matrix: typed reached the frontier within havoc's execs on \
+            only %d/%d targets (gate requires at least half)"
+           !wins (List.length names))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1813,6 +1991,7 @@ let experiments =
     ("bechamel", bechamel_suite);
     ("parallel_smoke", parallel_smoke);
     ("snapshot_matrix", snapshot_matrix);
+    ("mutation_matrix", mutation_matrix);
     ("hotpath", hotpath);
     ("faultcheck", faultcheck);
     ("statecheck", statecheck);

@@ -75,6 +75,18 @@ let print_result r =
       p.Nyx_core.Report.moves
       (List.length p.Nyx_core.Report.placements)
   | None -> ());
+  (match r.Nyx_core.Report.mutation with
+  | Some m when m.Nyx_core.Report.engine <> "havoc" ->
+    Format.printf "  mutation engine: %s@." m.Nyx_core.Report.engine;
+    List.iter
+      (fun (s : Nyx_core.Report.mutator_stat) ->
+        Format.printf
+          "    %-8s %7d attempts, %6d rejected, %5d accepts, credit %.3f@."
+          s.Nyx_core.Report.mut_name s.Nyx_core.Report.mut_attempts
+          s.Nyx_core.Report.mut_rejected s.Nyx_core.Report.mut_accepts
+          s.Nyx_core.Report.mut_credit)
+      m.Nyx_core.Report.mutators
+  | _ -> ());
   (match r.Nyx_core.Report.resilience with
   | Some res -> Format.printf "%a@." Nyx_core.Report.pp_resilience res
   | None -> ());
@@ -134,6 +146,31 @@ let checkpoint_interval_arg =
   Arg.(
     value & opt float 5.0 & info [ "checkpoint-interval" ] ~docv:"SECONDS" ~doc)
 
+let engine_arg =
+  let doc =
+    "Mutation engine: $(b,havoc) (byte/structural mutators, the default) or \
+     $(b,typed) (adds typestate splicing and spec-driven generation over the \
+     affine IR, with coverage-credit weighting)."
+  in
+  Arg.(value & opt string "havoc" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let mutator_weights_arg =
+  let doc =
+    "Per-mutator base-weight overrides, e.g. $(b,havoc:1,splice:2,generate:0.5). \
+     Names must exist in the selected --engine."
+  in
+  Arg.(value & opt (some string) None & info [ "mutator-weights" ] ~docv:"W" ~doc)
+
+let parse_engine name =
+  Result.map_error (fun m -> `Msg m) (Nyx_core.Engines.of_name name)
+
+let parse_mutator_weights = function
+  | None -> Ok []
+  | Some s ->
+    Result.map_error
+      (fun m -> `Msg ("bad --mutator-weights: " ^ m))
+      (Nyx_core.Engines.parse_weights s)
+
 let parse_faults = function
   | None -> Ok None
   | Some spec ->
@@ -152,7 +189,7 @@ let make_checkpointing path interval =
 
 let fuzz_cmd =
   let run target fuzzer policy budget max_execs seed asan seeds_file crash_dir
-      faults ck_path ck_interval =
+      faults ck_path ck_interval engine_name weights =
     let ( let* ) = Result.bind in
     let result =
       let* entry = lookup_target target in
@@ -163,6 +200,8 @@ let fuzz_cmd =
         let* policy =
           Result.map_error (fun m -> `Msg m) (Nyx_core.Policy.of_name policy)
         in
+        let* engine = parse_engine engine_name in
+        let* mutator_weights = parse_mutator_weights weights in
         let cfg =
           {
             Nyx_core.Campaign.default_config with
@@ -171,6 +210,8 @@ let fuzz_cmd =
             max_execs;
             seed;
             asan;
+            engine;
+            mutator_weights;
           }
         in
         match
@@ -211,7 +252,8 @@ let fuzz_cmd =
       ret
         (const run $ target_arg $ fuzzer_arg $ policy_arg $ budget_arg $ max_execs_arg
        $ seed_arg $ asan_arg $ seeds_arg $ crash_dir_arg $ faults_arg
-       $ checkpoint_arg $ checkpoint_interval_arg))
+       $ checkpoint_arg $ checkpoint_interval_arg $ engine_arg
+       $ mutator_weights_arg))
 
 (* resume command: continue a campaign from a crash-safe checkpoint *)
 

@@ -1,0 +1,241 @@
+(* Typed splicing + spec-driven generation over the affine IR. *)
+
+open Nyx_sim
+open Nyx_spec
+
+let snap = Spec.snapshot_node_id
+
+(* Non-snapshot node types the mutator can ever assemble the inputs of
+   (the Spec_lint constructibility fixpoint, shared with State_graph). *)
+let usable_nodes spec =
+  let nodes = Spec.nodes spec in
+  let constructible, _ = Spec_lint.constructible_nodes nodes in
+  List.filter
+    (fun (nt : Spec.node_ty) -> nt.Spec.nt_id <> snap && constructible.(nt.Spec.nt_id))
+    (Array.to_list nodes)
+
+let generative spec = List.length (usable_nodes spec) > 1
+
+(* Cap a candidate to [max_ops] total ops, trimming the tail (the frozen
+   prefix always fits: frozen <= original length <= max_ops). *)
+let cap_ops max_ops ops =
+  if Array.length ops > max_ops then Array.sub ops 0 max_ops else ops
+
+(* Repair the affine environment, then verify offline: only clean
+   candidates ever reach the executor. *)
+let finish rng (p : Program.t) ops =
+  let cand = Program.repair ~rng { p with Program.ops } in
+  if Array.length cand.Program.ops = 0 then None
+  else if Verifier.is_clean cand then Some cand
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Splice: cut at state_path-compatible points.                        *)
+
+let splice rng (ctx : Mutation_engine.ctx) (p : Program.t) =
+  if Array.length ctx.mx_corpus = 0 then None
+  else begin
+    let frozen = min ctx.mx_frozen (Array.length p.Program.ops) in
+    let donor = Rng.choose rng ctx.mx_corpus in
+    let donor = Program.strip_snapshots donor in
+    let dlen = Array.length donor.Program.ops in
+    if dlen = 0 then None
+    else begin
+      let sa = Dataflow.state_path p in
+      let sb = Dataflow.state_path donor in
+      (* Compatible cut pairs: the abstract state after the kept prefix
+         equals the state the donor suffix was built in, so every edge
+         type the graft needs has at least one live value for repair to
+         bind. The graft must be nonempty. *)
+      let pairs = ref [] in
+      let n_pairs = ref 0 in
+      for i = Array.length p.Program.ops downto frozen do
+        for j = dlen - 1 downto 0 do
+          if sa.(i) = sb.(j) then begin
+            pairs := (i, j) :: !pairs;
+            incr n_pairs
+          end
+        done
+      done;
+      if !n_pairs = 0 then None
+      else begin
+        let cuts = Array.of_list !pairs in
+        let i, j = cuts.(Rng.int rng !n_pairs) in
+        let ops =
+          Array.append
+            (Array.sub p.Program.ops 0 i)
+            (Array.sub donor.Program.ops j (dlen - j))
+        in
+        finish rng p (cap_ops ctx.mx_max_ops ops)
+      end
+    end
+  end
+
+let splice_mutator =
+  { Mutation_engine.m_name = "splice"; m_base = 1.0; m_fn = splice }
+
+(* ------------------------------------------------------------------ *)
+(* Generate: concrete walk over the constructible-opcode transitions.  *)
+
+(* The affine environment of a walk: live (unconsumed) values by edge
+   type, plus the global value counter arg slots index into. *)
+type env = { mutable avail : (int * Spec.edge_ty) list; mutable n_values : int }
+
+let env_mask env =
+  List.fold_left (fun m (_, (et : Spec.edge_ty)) -> m lor (1 lsl et.Spec.et_id)) 0
+    env.avail
+
+(* Replay [ops] (assumed valid) to seed the environment with the frozen
+   prefix's live values, mirroring Program.validate's accounting. *)
+let env_of_prefix spec ops =
+  let env = { avail = []; n_values = 0 } in
+  Array.iter
+    (fun (op : Program.op) ->
+      let nt = Spec.node spec op.Program.node in
+      let n_borrows = List.length nt.Spec.borrows in
+      List.iteri
+        (fun i _ ->
+          let v = op.Program.args.(n_borrows + i) in
+          env.avail <- List.filter (fun (v', _) -> v' <> v) env.avail)
+        nt.Spec.consumes;
+      List.iter
+        (fun ty ->
+          env.avail <- (env.n_values, ty) :: env.avail;
+          env.n_values <- env.n_values + 1)
+        nt.Spec.outputs)
+    ops;
+  env
+
+(* A node is enabled when every input type has enough live values —
+   borrows may share a value, consumes need distinct ones. *)
+let enabled env (nt : Spec.node_ty) =
+  let have et =
+    List.length
+      (List.filter (fun (_, (e : Spec.edge_ty)) -> e.Spec.et_id = et) env.avail)
+  in
+  List.for_all (fun (et : Spec.edge_ty) -> have et.Spec.et_id >= 1) nt.Spec.borrows
+  && List.for_all
+       (fun (et : Spec.edge_ty) ->
+         let needed =
+           List.length
+             (List.filter
+                (fun (e : Spec.edge_ty) -> e.Spec.et_id = et.Spec.et_id)
+                nt.Spec.consumes)
+         in
+         have et.Spec.et_id >= needed)
+       nt.Spec.consumes
+
+(* Bind one op of type [nt] against the environment and advance it. *)
+let emit rng dict env (nt : Spec.node_ty) =
+  let pick_of ty exclude =
+    let cands =
+      List.filter
+        (fun (v, (e : Spec.edge_ty)) ->
+          e.Spec.et_id = ty.Spec.et_id && not (List.mem v exclude))
+        env.avail
+    in
+    fst (Rng.choose_list rng cands)
+  in
+  let borrow_args =
+    List.map (fun ty -> pick_of ty []) nt.Spec.borrows
+  in
+  let consumed = ref [] in
+  let consume_args =
+    List.map
+      (fun ty ->
+        let v = pick_of ty !consumed in
+        consumed := v :: !consumed;
+        v)
+      nt.Spec.consumes
+  in
+  env.avail <- List.filter (fun (v, _) -> not (List.mem v !consumed)) env.avail;
+  let data =
+    Array.of_list
+      (List.map
+         (fun (dt : Spec.data_ty) ->
+           if dict <> [] && Rng.chance rng 0.5 then begin
+             let tok = Rng.choose_list rng dict in
+             if Bytes.length tok > dt.Spec.max_len then
+               Bytes.sub tok 0 dt.Spec.max_len
+             else tok
+           end
+           else Rng.bytes rng (Rng.int rng (min 64 (dt.Spec.max_len + 1))))
+         nt.Spec.data)
+  in
+  List.iter
+    (fun ty ->
+      env.avail <- (env.n_values, ty) :: env.avail;
+      env.n_values <- env.n_values + 1)
+    nt.Spec.outputs;
+  { Program.node = nt.Spec.nt_id; args = Array.of_list (borrow_args @ consume_args); data }
+
+let generate ~usable ~reachable rng (ctx : Mutation_engine.ctx) (p : Program.t) =
+  let frozen = min ctx.mx_frozen (Array.length p.Program.ops) in
+  let room = ctx.mx_max_ops - frozen in
+  if room <= 0 then None
+  else begin
+    let prefix = Array.sub p.Program.ops 0 frozen in
+    let env = env_of_prefix p.Program.spec prefix in
+    (* Half the walks steer toward a random reachable abstract state (a
+       state-reaching prefix for later mutation rounds to build on);
+       the other half wander freely. *)
+    let target =
+      if Array.length reachable > 0 && Rng.bool rng then
+        Some (Rng.choose rng reachable)
+      else None
+    in
+    let len = 1 + Rng.int rng room in
+    let out = ref [] in
+    (try
+       for _ = 1 to len do
+         let en = List.filter (enabled env) usable in
+         if en = [] then raise Exit;
+         let nt =
+           match target with
+           | Some tgt ->
+             let missing = tgt land lnot (env_mask env) in
+             let productive =
+               List.filter
+                 (fun (nt : Spec.node_ty) ->
+                   List.exists
+                     (fun (et : Spec.edge_ty) ->
+                       missing land (1 lsl et.Spec.et_id) <> 0)
+                     nt.Spec.outputs)
+                 en
+             in
+             if productive <> [] && Rng.chance rng 0.75 then
+               Rng.choose_list rng productive
+             else Rng.choose_list rng en
+           | None -> Rng.choose_list rng en
+         in
+         out := emit rng ctx.mx_dict env nt :: !out
+       done
+     with Exit -> ());
+    match !out with
+    | [] -> None
+    | ops ->
+      finish rng p (Array.append prefix (Array.of_list (List.rev ops)))
+  end
+
+let generate_mutator spec =
+  if not (generative spec) then
+    invalid_arg
+      (Printf.sprintf
+         "Typed_mutators.generate_mutator: spec %S is dynamic-degenerate \
+          (single constructible opcode); use the havoc fallback"
+         (Spec.name spec));
+  let usable = usable_nodes spec in
+  let graph = State_graph.build spec in
+  (* Exclude the empty start state: reaching it requires no prefix. *)
+  let reachable =
+    Array.of_list (List.filter (fun m -> m <> 0) (State_graph.reachable graph))
+  in
+  {
+    Mutation_engine.m_name = "generate";
+    m_base = 0.35;
+    m_fn = generate ~usable ~reachable;
+  }
+
+let mutators spec =
+  let base = [ Mutation_engine.havoc_mutator; splice_mutator ] in
+  if generative spec then base @ [ generate_mutator spec ] else base

@@ -151,6 +151,7 @@ let run ?seeds cfg entry =
         target = target.Nyx_targets.Target.info.Nyx_targets.Target.name;
         run_seed = cfg.seed;
         timeline;
+        exec_timeline = Nyx_sim.Stats.Timeline.create ();
         final_edges = Nyx_targets.Coverage.Cumulative.edge_count cumulative;
         execs = !execs;
         virtual_ns;
@@ -165,4 +166,5 @@ let run ?seeds cfg entry =
         phase_profile = None;
         resilience = None;
         placement = None;
+        mutation = None;
       }

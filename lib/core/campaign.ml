@@ -9,6 +9,8 @@ type config = {
   stop_on_solve : bool;
   trim : bool;
   sample_interval_ns : int;
+  engine : Engines.kind;
+  mutator_weights : (string * float) list;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
     stop_on_solve = false;
     trim = false;
     sample_interval_ns = 250_000_000;
+    engine = Engines.Havoc;
+    mutator_weights = [];
   }
 
 let net_spec () = Nyx_spec.Net_spec.create ()
@@ -57,9 +61,13 @@ type state = {
   corpus : Corpus.t;
   cumulative : Coverage.Cumulative.t;
   timeline : Nyx_sim.Stats.Timeline.t;
+  exec_timeline : Nyx_sim.Stats.Timeline.t;
+      (* coverage keyed by execs instead of virtual time, recorded at
+         every coverage event — the bench's execs-to-frontier metric *)
   rng : Nyx_sim.Rng.t;  (* scheduling *)
   policy : Policy.t;
   mut_rng : Nyx_sim.Rng.t;
+  engine : Nyx_spec.Mutation_engine.t;
   dict : bytes list;
   max_ops : int;
   plan : Nyx_resilience.Plan.t option;  (* armed fault plan, if any *)
@@ -111,8 +119,11 @@ let sample ?(force = false) st =
   let t = now st in
   if force || t - st.last_sample >= st.cfg.sample_interval_ns then begin
     st.last_sample <- t;
-    Nyx_sim.Stats.Timeline.record st.timeline t
-      (float_of_int (Coverage.Cumulative.edge_count st.cumulative));
+    let edges = float_of_int (Coverage.Cumulative.edge_count st.cumulative) in
+    Nyx_sim.Stats.Timeline.record st.timeline t edges;
+    (* Forced samples fire exactly at coverage events (novelty, import),
+       so the execs-keyed timeline captures every frontier advance. *)
+    if force then Nyx_sim.Stats.Timeline.record st.exec_timeline st.execs edges;
     (* Trace-sink fault site, fired where the campaign actually records
        observability output. The plan draw happens whether or not tracing
        is on — the fault sequence must not depend on NYX_TRACE — but the
@@ -285,6 +296,16 @@ let capture st : Checkpoint.t =
     c_engine = Executor.engine_checkpoint st.exec;
     c_dict = st.dict;
     c_max_ops = st.max_ops;
+    c_exec_timeline =
+      List.map
+        (fun (t, v) -> (t, Int64.bits_of_float v))
+        (Nyx_sim.Stats.Timeline.samples st.exec_timeline);
+    c_mut_engine = Engines.name cfg.engine;
+    c_mut_weights =
+      List.map (fun (n, w) -> (n, Int64.bits_of_float w)) cfg.mutator_weights;
+    (* Valid at the loop top: no mutate→credit pair is in flight there,
+       so the per-mutator counters fully describe the engine. *)
+    c_mut_state = Nyx_spec.Mutation_engine.state st.engine;
     c_faults =
       Option.map
         (fun p ->
@@ -391,20 +412,29 @@ let main_loop st =
       while !i < Policy.reuse_count && not (paused st) do
         incr i;
         let mutated =
-          Nyx_obs.Trace.with_span
-            ~vns_of:(fun () -> now st)
-            "mutation"
-            [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
-            (fun () ->
-              Nyx_spec.Mutator.mutate st.mut_rng ~max_ops:st.max_ops
-                ~dict:st.dict ~corpus:corpus_progs entry_sched.Corpus.program)
+          prof_span st Nyx_obs.Profile.Mutation (fun () ->
+              Nyx_obs.Trace.with_span
+                ~vns_of:(fun () -> now st)
+                "mutation"
+                [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+                (fun () ->
+                  Nyx_spec.Mutation_engine.mutate st.engine st.mut_rng
+                    {
+                      Nyx_spec.Mutation_engine.mx_frozen = 0;
+                      mx_max_ops = st.max_ops;
+                      mx_dict = st.dict;
+                      mx_corpus = corpus_progs;
+                    }
+                    entry_sched.Corpus.program))
         in
         let r = Executor.run_full st.exec mutated in
         if dyn then begin
           ns_sum := !ns_sum + r.Report.exec_ns;
           incr runs
         end;
-        if triage st r mutated then news := true
+        let novel = triage st r mutated in
+        Nyx_spec.Mutation_engine.credit st.engine ~novel;
+        if novel then news := true
       done;
       (* Feed the cost model; static policies never observed root rounds
          (notify_no_news was historically session-only) and still don't. *)
@@ -436,21 +466,29 @@ let main_loop st =
         while !i < Policy.reuse_count && not (paused st) do
           incr i;
           let mutated =
-            Nyx_obs.Trace.with_span
-              ~vns_of:(fun () -> now st)
-              "mutation"
-              [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
-              (fun () ->
-                Nyx_spec.Mutator.mutate st.mut_rng
-                  ~max_ops:(st.max_ops + 1 (* snapshot op *))
-                  ~dict:st.dict ~frozen ~corpus:corpus_progs with_snap)
+            prof_span st Nyx_obs.Profile.Mutation (fun () ->
+                Nyx_obs.Trace.with_span
+                  ~vns_of:(fun () -> now st)
+                  "mutation"
+                  [ ("input", Nyx_obs.Trace.Int entry_sched.Corpus.id) ]
+                  (fun () ->
+                    Nyx_spec.Mutation_engine.mutate st.engine st.mut_rng
+                      {
+                        Nyx_spec.Mutation_engine.mx_frozen = frozen;
+                        mx_max_ops = st.max_ops + 1 (* snapshot op *);
+                        mx_dict = st.dict;
+                        mx_corpus = corpus_progs;
+                      }
+                      with_snap))
           in
           let r = Executor.run_suffix st.exec session mutated in
           if dyn then begin
             ns_sum := !ns_sum + r.Report.exec_ns;
             incr rounds
           end;
-          if triage st r mutated then news := true
+          let novel = triage st r mutated in
+          Nyx_spec.Mutation_engine.credit st.engine ~novel;
+          if novel then news := true
         done;
         Executor.end_session st.exec session;
         if dyn && !rounds > 0 then
@@ -481,6 +519,7 @@ let finish st wall0 =
     target = Executor.target_name st.exec;
     run_seed = st.cfg.seed;
     timeline = st.timeline;
+    exec_timeline = st.exec_timeline;
     final_edges;
     execs = st.execs;
     virtual_ns;
@@ -513,6 +552,22 @@ let finish st wall0 =
           })
         st.plan;
     placement = Policy.placement_stats st.policy;
+    mutation =
+      Some
+        {
+          Report.engine = Nyx_spec.Mutation_engine.name st.engine;
+          mutators =
+            List.map
+              (fun (s : Nyx_spec.Mutation_engine.stat) ->
+                {
+                  Report.mut_name = s.Nyx_spec.Mutation_engine.s_name;
+                  mut_attempts = s.Nyx_spec.Mutation_engine.s_attempts;
+                  mut_rejected = s.Nyx_spec.Mutation_engine.s_rejected;
+                  mut_accepts = s.Nyx_spec.Mutation_engine.s_accepts;
+                  mut_credit = s.Nyx_spec.Mutation_engine.s_credit;
+                })
+              (Nyx_spec.Mutation_engine.stats st.engine);
+        };
   }
 
 let trace_campaign_begin st =
@@ -548,6 +603,13 @@ let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
   in
   let policy = Policy.create cfg.policy (Nyx_sim.Rng.split rng) in
   let mut_rng = Nyx_sim.Rng.split rng in
+  (* Engine construction is pure (no RNG draws, no clock charges): the
+     typed engine's analysis passes are static, so arming it changes
+     nothing about the draw sequence until the first selection draw. *)
+  let engine =
+    Engines.create ~weights:cfg.mutator_weights cfg.engine
+      spec.Nyx_spec.Net_spec.spec
+  in
   (* Fault plan: [~faults] wins, else NYX_FAULTS. Its rng split happens
      ONLY when a plan is armed, so fault-free runs keep the historical
      draw sequence (golden results stay byte-identical). *)
@@ -589,9 +651,11 @@ let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
       corpus = Corpus.create ();
       cumulative = Coverage.Cumulative.create ();
       timeline = Nyx_sim.Stats.Timeline.create ();
+      exec_timeline = Nyx_sim.Stats.Timeline.create ();
       rng;
       policy;
       mut_rng;
+      engine;
       dict;
       max_ops;
       plan;
@@ -697,6 +761,11 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
     | Ok k -> k
     | Error m -> invalid_arg ("Campaign.resume: " ^ m)
   in
+  let engine_kind =
+    match Engines.of_name ckpt.Checkpoint.c_mut_engine with
+    | Ok k -> k
+    | Error m -> invalid_arg ("Campaign.resume: " ^ m)
+  in
   let cfg =
     {
       policy = policy_kind;
@@ -707,6 +776,11 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
       stop_on_solve = ckpt.Checkpoint.c_stop_on_solve;
       trim = ckpt.Checkpoint.c_trim;
       sample_interval_ns = ckpt.Checkpoint.c_sample_interval_ns;
+      engine = engine_kind;
+      mutator_weights =
+        List.map
+          (fun (n, bits) -> (n, Int64.float_of_bits bits))
+          ckpt.Checkpoint.c_mut_weights;
     }
   in
   let spec = net_spec () in
@@ -729,6 +803,11 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
   Policy.restore_state policy ckpt.Checkpoint.c_policy_state;
   let mut_rng = Nyx_sim.Rng.create 0 in
   Nyx_sim.Rng.set_state mut_rng ckpt.Checkpoint.c_mut_rng;
+  let engine =
+    Engines.create ~weights:cfg.mutator_weights cfg.engine
+      spec.Nyx_spec.Net_spec.spec
+  in
+  Nyx_spec.Mutation_engine.restore_state engine ckpt.Checkpoint.c_mut_state;
   let plan =
     match ckpt.Checkpoint.c_faults with
     | None -> None
@@ -768,6 +847,11 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
     (fun (t, bits) ->
       Nyx_sim.Stats.Timeline.record timeline t (Int64.float_of_bits bits))
     ckpt.Checkpoint.c_timeline;
+  let exec_timeline = Nyx_sim.Stats.Timeline.create () in
+  List.iter
+    (fun (t, bits) ->
+      Nyx_sim.Stats.Timeline.record exec_timeline t (Int64.float_of_bits bits))
+    ckpt.Checkpoint.c_exec_timeline;
   let crashes =
     List.map
       (fun (c : Checkpoint.crash) ->
@@ -791,9 +875,11 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
       corpus;
       cumulative;
       timeline;
+      exec_timeline;
       rng;
       policy;
       mut_rng;
+      engine;
       dict = ckpt.Checkpoint.c_dict;
       max_ops = ckpt.Checkpoint.c_max_ops;
       plan;

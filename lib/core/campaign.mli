@@ -21,10 +21,20 @@ type config = {
           on long message sequences such as deep Mario levels). Off by
           default. *)
   sample_interval_ns : int;
+  engine : Engines.kind;
+      (** mutation engine (default [Havoc]). The havoc engine hosts a
+          single mutator and therefore makes no selection draw — its
+          candidate stream, and every golden result, is byte-identical
+          to the pre-engine code. [Typed] adds typestate splicing and
+          spec-driven generation with EWMA coverage-credit weighting. *)
+  mutator_weights : (string * float) list;
+      (** per-mutator base-weight overrides by name (CLI
+          [--mutator-weights]); empty means engine defaults.
+          Unknown names raise [Invalid_argument] at campaign start. *)
 }
 
 val default_config : config
-(** 30 virtual seconds, 200k execs max, seed 1, no ASan. *)
+(** 30 virtual seconds, 200k execs max, seed 1, no ASan, havoc engine. *)
 
 (** {2 Crash-safe checkpointing} *)
 

@@ -60,6 +60,11 @@ type t = {
   (* derived-at-setup state that must not be re-derived from seeds *)
   c_dict : bytes list;
   c_max_ops : int;
+  (* mutation engine *)
+  c_exec_timeline : (int * int64) list;  (* oldest first; values as float bits *)
+  c_mut_engine : string;  (* Engines.name form *)
+  c_mut_weights : (string * int64) list;  (* weight overrides; float bits *)
+  c_mut_state : Nyx_spec.Mutation_engine.state;
   (* resilience *)
   c_faults : (string * Nyx_resilience.Plan.state) option;
   c_profile : Nyx_obs.Profile.state option;
@@ -163,6 +168,17 @@ let add_profile_state b (s : Nyx_obs.Profile.state) =
   add_int_array b s.Nyx_obs.Profile.ps_counts;
   add_int_array b s.Nyx_obs.Profile.ps_virt
 
+let add_weight b (n, bits) =
+  add_str b n;
+  add_i64 b bits
+
+let add_mut_state b (m : Nyx_spec.Mutation_engine.mstate) =
+  add_str b m.Nyx_spec.Mutation_engine.ms_name;
+  add_int b m.Nyx_spec.Mutation_engine.ms_attempts;
+  add_int b m.Nyx_spec.Mutation_engine.ms_rejected;
+  add_int b m.Nyx_spec.Mutation_engine.ms_accepts;
+  add_i64 b m.Nyx_spec.Mutation_engine.ms_credit
+
 let encode t =
   let b = Buffer.create 65536 in
   Buffer.add_string b magic;
@@ -189,6 +205,10 @@ let encode t =
   add_engine b t.c_engine;
   add_list add_bytes_v b t.c_dict;
   add_int b t.c_max_ops;
+  add_list add_sample b t.c_exec_timeline;
+  add_str b t.c_mut_engine;
+  add_list add_weight b t.c_mut_weights;
+  add_list add_mut_state b t.c_mut_state;
   add_opt add_plan_state b t.c_faults;
   add_opt add_profile_state b t.c_profile;
   Buffer.to_bytes b
@@ -351,6 +371,19 @@ let get_profile_state c =
   let ps_virt = get_int_array c in
   { Nyx_obs.Profile.ps_counts; ps_virt }
 
+let get_weight c =
+  let n = get_str c in
+  let bits = get_i64 c in
+  (n, bits)
+
+let get_mut_state c =
+  let ms_name = get_str c in
+  let ms_attempts = get_int c in
+  let ms_rejected = get_int c in
+  let ms_accepts = get_int c in
+  let ms_credit = get_i64 c in
+  { Nyx_spec.Mutation_engine.ms_name; ms_attempts; ms_rejected; ms_accepts; ms_credit }
+
 let decode data =
   let c = { data; pos = 0 } in
   let m = Bytes.create (String.length magic) in
@@ -381,6 +414,10 @@ let decode data =
   let c_engine = get_engine c in
   let c_dict = get_list get_bytes_v c in
   let c_max_ops = get_int c in
+  let c_exec_timeline = get_list get_sample c in
+  let c_mut_engine = get_str c in
+  let c_mut_weights = get_list get_weight c in
+  let c_mut_state = get_list get_mut_state c in
   let c_faults = get_opt get_plan_state c in
   let c_profile = get_opt get_profile_state c in
   if c.pos <> Bytes.length c.data then raise (Corrupt "trailing garbage");
@@ -408,6 +445,10 @@ let decode data =
     c_engine;
     c_dict;
     c_max_ops;
+    c_exec_timeline;
+    c_mut_engine;
+    c_mut_weights;
+    c_mut_state;
     c_faults;
     c_profile;
   }

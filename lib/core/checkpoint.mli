@@ -53,6 +53,13 @@ type t = {
   c_engine : Nyx_snapshot.Engine.persisted;
   c_dict : bytes list;
   c_max_ops : int;
+  c_exec_timeline : (int * int64) list;
+      (** execs-keyed coverage timeline, oldest first; values float bits *)
+  c_mut_engine : string;  (** {!Engines.name} form *)
+  c_mut_weights : (string * int64) list;
+      (** per-mutator base-weight overrides; weights as float bits *)
+  c_mut_state : Nyx_spec.Mutation_engine.state;
+      (** per-mutator counters and EWMA credit, engine order *)
   c_faults : (string * Nyx_resilience.Plan.state) option;
       (** canonical fault spec + plan state, when a plan was armed *)
   c_profile : Nyx_obs.Profile.state option;

@@ -1,0 +1,44 @@
+type kind = Havoc | Typed
+
+let all = [ Havoc; Typed ]
+
+let name = function Havoc -> "havoc" | Typed -> "typed"
+
+let of_name = function
+  | "havoc" -> Ok Havoc
+  | "typed" -> Ok Typed
+  | s ->
+    Error
+      (Printf.sprintf "unknown mutation engine %S (expected havoc or typed)" s)
+
+let create ?weights kind spec =
+  match kind with
+  | Havoc -> Nyx_spec.Mutation_engine.havoc ?weights ()
+  | Typed ->
+    Nyx_spec.Mutation_engine.create ~name:"typed" ?weights
+      (Nyx_analysis.Typed_mutators.mutators spec)
+
+let parse_weights s =
+  let parse_one item =
+    match String.index_opt item ':' with
+    | None -> Error (Printf.sprintf "bad weight %S (expected name:float)" item)
+    | Some i -> (
+      let nm = String.sub item 0 i in
+      let v = String.sub item (i + 1) (String.length item - i - 1) in
+      match float_of_string_opt v with
+      | Some w when w > 0.0 -> Ok (nm, w)
+      | _ -> Error (Printf.sprintf "weight for %S must be a positive float" nm))
+  in
+  let items =
+    List.filter (fun x -> x <> "") (String.split_on_char ',' (String.trim s))
+  in
+  List.fold_left
+    (fun acc item ->
+      match (acc, parse_one item) with
+      | Error _, _ -> acc
+      | _, (Error _ as e) -> e
+      | Ok l, Ok kv -> Ok (l @ [ kv ]))
+    (Ok []) items
+
+let weights_to_string ws =
+  String.concat "," (List.map (fun (n, w) -> Printf.sprintf "%s:%g" n w) ws)

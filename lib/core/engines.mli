@@ -1,0 +1,33 @@
+(** Mutation-engine registry: the engines a campaign can run with.
+
+    [Havoc] is the historical byte/structural mutator wrapped as a
+    single-mutator engine — no selection draw, so its candidate stream
+    (and every golden result) is byte-identical to the pre-engine code.
+    [Typed] adds the analysis-backed mutators of
+    {!Nyx_analysis.Typed_mutators}: typestate splicing between corpus
+    entries and spec-driven generation from the State_graph
+    constructibility fixpoint, both verified offline before execution,
+    with EWMA coverage-credit weighting across all three mutators. *)
+
+type kind = Havoc | Typed
+
+val all : kind list
+
+val name : kind -> string
+(** ["havoc"] / ["typed"]. *)
+
+val of_name : string -> (kind, string) result
+
+val create :
+  ?weights:(string * float) list -> kind -> Nyx_spec.Spec.t -> Nyx_spec.Mutation_engine.t
+(** Build an engine instance for [spec]. [weights] overrides per-mutator
+    base weights by name (CLI [--mutator-weights]).
+    @raise Invalid_argument on an unknown weight name (surface the
+    message to the user). *)
+
+val parse_weights : string -> ((string * float) list, string) result
+(** Parse a ["name:w,name:w"] override list; weights must be positive
+    floats. *)
+
+val weights_to_string : (string * float) list -> string
+(** Canonical inverse of {!parse_weights}. *)

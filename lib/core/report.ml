@@ -28,11 +28,22 @@ type placement_stats = {
   placements : (int * int) list;
 }
 
+type mutator_stat = {
+  mut_name : string;
+  mut_attempts : int;
+  mut_rejected : int;
+  mut_accepts : int;
+  mut_credit : float;
+}
+
+type mutation_stats = { engine : string; mutators : mutator_stat list }
+
 type campaign_result = {
   fuzzer : string;
   target : string;
   run_seed : int;
   timeline : Nyx_sim.Stats.Timeline.t;
+  exec_timeline : Nyx_sim.Stats.Timeline.t;
   final_edges : int;
   execs : int;
   virtual_ns : int;
@@ -55,6 +66,10 @@ type campaign_result = {
   placement : placement_stats option;
       (* dynamic snapshot placement counters; Some only for --policy
          dynamic. Fully deterministic (virtual-clock driven). *)
+  mutation : mutation_stats option;
+      (* per-mutator attempt/accept/coverage-credit counters from the
+         mutation engine; Some for every nyx campaign, None for the
+         baseline fuzzers. Deterministic. *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes

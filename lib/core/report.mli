@@ -40,11 +40,32 @@ type placement_stats = {
           input id; index 0 means the entry settled on the root *)
 }
 
+type mutator_stat = {
+  mut_name : string;  (** mutator name within its engine (e.g. ["splice"]) *)
+  mut_attempts : int;  (** times the engine selected this mutator *)
+  mut_rejected : int;
+      (** attempts whose candidate failed offline verification (the
+          engine fell back to the first mutator for those draws) *)
+  mut_accepts : int;  (** candidates that survived triage into the corpus *)
+  mut_credit : float;
+      (** EWMA coverage credit in [0,1]: the recent fraction of this
+          mutator's candidates that produced coverage news *)
+}
+
+type mutation_stats = {
+  engine : string;  (** engine name, ["havoc"] or ["typed"] *)
+  mutators : mutator_stat list;  (** fixed engine declaration order *)
+}
+
 type campaign_result = {
   fuzzer : string;
   target : string;
   run_seed : int;
   timeline : Nyx_sim.Stats.Timeline.t;  (** cumulative branch coverage over time *)
+  exec_timeline : Nyx_sim.Stats.Timeline.t;
+      (** cumulative branch coverage keyed by executions instead of
+          virtual time (recorded at every coverage event), for
+          execs-to-frontier comparisons between mutation engines *)
   final_edges : int;
   execs : int;
   virtual_ns : int;
@@ -72,6 +93,10 @@ type campaign_result = {
       (** adaptive snapshot-placement counters; [Some] only for the
           dynamic policy. Deterministic — placement decisions run on the
           virtual clock. *)
+  mutation : mutation_stats option;
+      (** per-mutator attempt/accept/coverage-credit counters from the
+          mutation engine; [Some] for every nyx campaign, [None] for the
+          baseline fuzzers. Deterministic. *)
 }
 
 val crashed : campaign_result -> bool

@@ -7,6 +7,7 @@ type phase =
   | Cov_merge
   | Trim
   | Corpus_sync
+  | Mutation
   | Other
 
 let phases =
@@ -19,6 +20,7 @@ let phases =
     Cov_merge;
     Trim;
     Corpus_sync;
+    Mutation;
     Other;
   ]
 
@@ -33,7 +35,8 @@ let index = function
   | Cov_merge -> 5
   | Trim -> 6
   | Corpus_sync -> 7
-  | Other -> 8
+  | Mutation -> 8
+  | Other -> 9
 
 let phase_name = function
   | Reset -> "reset"
@@ -44,6 +47,7 @@ let phase_name = function
   | Cov_merge -> "cov-merge"
   | Trim -> "trim"
   | Corpus_sync -> "corpus-sync"
+  | Mutation -> "mutation"
   | Other -> "other"
 
 (* One campaign owns one profile on one domain (no locks): the fields are

@@ -21,8 +21,11 @@
     and [Trim] are fuzzer bookkeeping with no paper analogue (virtually
     free and trim-only respectively); [Corpus_sync] is fleet sync-epoch
     work (judging and importing peer-exported programs — what fraction of
-    fleet virtual time corpus sharing costs); [Other] is everything
-    unattributed (target boot, root-snapshot creation).
+    fleet virtual time corpus sharing costs); [Mutation] is the mutation
+    engine's candidate construction (splice/generate walks and offline
+    verification — virtually free like the real system's mutation CPU,
+    so the count and wall columns carry the signal); [Other] is
+    everything unattributed (target boot, root-snapshot creation).
 
     Accumulation is purely observational: it reads the virtual clock and
     the wall clock but never advances either, so a profiled campaign
@@ -38,6 +41,7 @@ type phase =
   | Cov_merge
   | Trim
   | Corpus_sync
+  | Mutation
   | Other
 
 val phase_name : phase -> string

@@ -317,6 +317,7 @@ let test_median_result () =
       target = "t";
       run_seed = 0;
       timeline = Nyx_sim.Stats.Timeline.create ();
+      exec_timeline = Nyx_sim.Stats.Timeline.create ();
       final_edges = edges;
       execs = 0;
       virtual_ns = 1;
@@ -329,6 +330,7 @@ let test_median_result () =
       phase_profile = None;
       resilience = None;
       placement = None;
+      mutation = None;
     }
   in
   check_int "median of three" 20
@@ -350,6 +352,7 @@ let test_report_helpers () =
       target = "t";
       run_seed = 0;
       timeline = Nyx_sim.Stats.Timeline.create ();
+      exec_timeline = Nyx_sim.Stats.Timeline.create ();
       final_edges = 10;
       execs = 100;
       virtual_ns = 1_000_000_000;
@@ -362,6 +365,7 @@ let test_report_helpers () =
       phase_profile = None;
       resilience = None;
       placement = None;
+      mutation = None;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);

@@ -598,6 +598,26 @@ let sample_checkpoint () =
       };
     c_dict = [ b "GET"; Bytes.empty; b "\r\n" ];
     c_max_ops = 24;
+    c_exec_timeline = [ (3, Int64.bits_of_float 1.0); (8, Int64.bits_of_float 2.5) ];
+    c_mut_engine = "typed";
+    c_mut_weights = [ ("splice", Int64.bits_of_float 2.0) ];
+    c_mut_state =
+      [
+        {
+          Nyx_spec.Mutation_engine.ms_name = "havoc";
+          ms_attempts = 10;
+          ms_rejected = 0;
+          ms_accepts = 3;
+          ms_credit = Int64.bits_of_float 0.25;
+        };
+        {
+          Nyx_spec.Mutation_engine.ms_name = "splice";
+          ms_attempts = 4;
+          ms_rejected = 2;
+          ms_accepts = 1;
+          ms_credit = Int64.bits_of_float 0.05;
+        };
+      ];
     c_faults =
       Some
         ( "wedge:0.5",
