@@ -1,6 +1,6 @@
 # Convenience entry points; see README.md for the full bench matrix.
 
-.PHONY: all check build test lint faultcheck statecheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench-mutation bench clean
+.PHONY: all check build test lint faultcheck statecheck profile ci-local bench-smoke bench-hotpath bench-snapshot bench-mutation bench-peer bench clean
 
 all: check
 
@@ -35,6 +35,7 @@ check:
 	NYX_DOMAINS=4 NYX_BENCH_HOTPATH_EXECS=1500 NYX_BENCH_HOTPATH_PHASE_ITERS=1000 dune exec bench/main.exe -- hotpath
 	$(MAKE) bench-snapshot
 	$(MAKE) bench-mutation
+	$(MAKE) bench-peer
 	$(MAKE) faultcheck
 	$(MAKE) statecheck
 
@@ -97,6 +98,15 @@ bench-snapshot:
 # matrix. Writes BENCH_mutation.json. Fully deterministic.
 bench-mutation:
 	NYX_BENCH_MUT_GATE=1 dune exec bench/main.exe -- mutation_matrix
+
+# Peer-vs-bytecode matrix: --mode peer campaigns (scripted peer with
+# encoder faults armed) vs bytecode campaigns at the same seed/budget on
+# lightftp, tinydtls and mysql-client; the gate fails unless peer mode
+# finds strictly more unique edges or a peer-only crash kind on at least
+# 2 of the 3 targets. Also asserts peer determinism and zero aborted
+# encoder faults. Writes BENCH_peer.json. Fully deterministic.
+bench-peer:
+	NYX_BENCH_PEER_GATE=1 dune exec bench/main.exe -- peer_matrix
 
 # The full paper evaluation (slow).
 bench:

@@ -6,7 +6,7 @@
    Experiments: table1 table2 table3 table4 table5 fig5 fig6 scalability
                 ablation_reuse ablation_dirty ablation_boundary
                 ablation_remirror bechamel parallel_smoke snapshot_matrix
-                mutation_matrix hotpath faultcheck statecheck all
+                mutation_matrix hotpath peer_matrix faultcheck statecheck all
    Flags:
      --budget S      parallel_smoke virtual budget in seconds
                      (default NYX_BENCH_SMOKE_BUDGET_S, then 10)
@@ -43,6 +43,12 @@
                            half the targets
      NYX_BENCH_HOTPATH_EXECS   coverage-bound execs for hotpath (default 3000)
      NYX_BENCH_HOTPATH_PHASE_ITERS  per-phase iterations for hotpath (default 2000)
+     NYX_BENCH_PEER_TARGETS    comma-separated peer_matrix target list
+     NYX_BENCH_PEER_BUDGET_S   virtual budget for peer_matrix (default 6)
+     NYX_BENCH_PEER_MAX_EXECS  execution cap for peer_matrix (default 20000)
+     NYX_BENCH_PEER_GATE   if set, peer_matrix fails unless peer mode beats
+                           bytecode (strictly more edges, or a peer-only
+                           crash kind) on at least 2 of its 3 targets
      NYX_STATECHECK_MUTANTS    statecheck mutants per seed (default 3) *)
 
 open Nyx_core
@@ -1443,6 +1449,38 @@ let faultcheck () =
     failwith "faultcheck: supervisor did not quarantine exactly the bad instance";
   if fleet.Fleet.restarts <> 2 then
     failwith "faultcheck: supervisor retry budget not honoured";
+  (* Peer encoder sites: a peer-mode campaign with every encoder fault
+     armed must likewise recover everything — supervised desync recovery
+     turns encoder lies into partial results, never campaign aborts. *)
+  let peer_entry = Option.get (Nyx_targets.Registry.find "lightftp") in
+  let peer_script = Option.get (Nyx_peer.Peer_script.find "lightftp") in
+  let peer_faults =
+    match Nyx_peer.Peer_fault.parse_spec "all:0.5" with
+    | Ok sp -> sp
+    | Error m -> failwith ("faultcheck: " ^ m)
+  in
+  let pr = Campaign.run ~peer:peer_script ~peer_faults cfg peer_entry in
+  let pres =
+    match pr.Report.resilience with
+    | Some r -> r
+    | None -> failwith "faultcheck: peer campaign returned no resilience block"
+  in
+  let pstats =
+    match pr.Report.peer with
+    | Some p -> p
+    | None -> failwith "faultcheck: peer campaign returned no peer block"
+  in
+  Printf.printf
+    "  peer: injected=%d recovered=%d aborted=%d | actions=%d desyncs=%d \
+     quarantines=%d\n\
+     %!"
+    pres.Report.faults_injected pres.Report.faults_recovered
+    pres.Report.faults_aborted pstats.Report.peer_actions
+    pstats.Report.peer_desyncs pstats.Report.peer_quarantines;
+  if pres.Report.faults_recovered = 0 then
+    failwith "faultcheck: no peer encoder faults fired (rate too low?)";
+  if pres.Report.faults_aborted <> 0 then
+    failwith "faultcheck: some peer encoder faults were not recovered";
   let json =
     Printf.sprintf
       "{\n\
@@ -1455,11 +1493,18 @@ let faultcheck () =
       \  \"edges\": %d,\n\
       \  \"execs\": %d,\n\
       \  \"fleet_restarts\": %d,\n\
-      \  \"fleet_quarantined\": %d\n\
+      \  \"fleet_quarantined\": %d,\n\
+      \  \"peer_injected\": %d,\n\
+      \  \"peer_recovered\": %d,\n\
+      \  \"peer_aborted\": %d,\n\
+      \  \"peer_desyncs\": %d,\n\
+      \  \"peer_quarantines\": %d\n\
        }"
       r1.Report.target res.Report.faults_injected res.Report.faults_recovered
       res.Report.faults_aborted r1.Report.final_edges r1.Report.execs
-      fleet.Fleet.restarts fleet.Fleet.quarantined
+      fleet.Fleet.restarts fleet.Fleet.quarantined pres.Report.faults_injected
+      pres.Report.faults_recovered pres.Report.faults_aborted
+      pstats.Report.peer_desyncs pstats.Report.peer_quarantines
   in
   let path = "FAULTCHECK.json" in
   let oc = open_out path in
@@ -1970,6 +2015,162 @@ let mutation_matrix () =
            !wins (List.length names))
 
 (* ------------------------------------------------------------------ *)
+(* Peer-vs-bytecode gate (make bench-peer / CI): on every peer-scripted
+   matrix target, a peer-mode campaign with encoder faults armed runs
+   against a bytecode campaign with the same seed and budget. A target
+   is a win when peer mode reaches strictly more unique edges, or finds
+   a crash kind the bytecode campaign never saw (the Fuzztruction-style
+   claim: protocol-correct traffic carrying semantic encoder lies
+   reaches parser states raw byte mutation cannot). Also asserts peer
+   campaigns are deterministic and that every fired encoder fault was
+   recovered. Emits BENCH_peer.json; with NYX_BENCH_PEER_GATE set,
+   fails unless peer mode wins on at least 2 of the 3 targets.          *)
+
+let peer_matrix () =
+  Printf.printf "\n== Peer-vs-bytecode matrix (peer_matrix) ==\n\n";
+  let budget_ns = env_int "NYX_BENCH_PEER_BUDGET_S" 6 * 1_000_000_000 in
+  let max_execs = env_int "NYX_BENCH_PEER_MAX_EXECS" 20_000 in
+  let names =
+    match Sys.getenv_opt "NYX_BENCH_PEER_TARGETS" with
+    | Some s -> String.split_on_char ',' s
+    | None -> [ "lightftp"; "tinydtls"; "mysql-client" ]
+  in
+  (* length-lie at full rate: the semantic lie that reaches the planted
+     trusted-length bugs; the other sites at 0.5 keep the mix broad. *)
+  let fault_spec =
+    "flip:0.5,truncate:0.5,duplicate:0.5,length-lie:1.0,desync-frame:0.5,drop-field:0.5"
+  in
+  let peer_faults =
+    match Nyx_peer.Peer_fault.parse_spec fault_spec with
+    | Ok sp -> sp
+    | Error m -> failwith ("peer_matrix: " ^ m)
+  in
+  let wins = ref 0 in
+  let rows =
+    List.map
+      (fun name ->
+        let entry =
+          match Nyx_targets.Registry.find name with
+          | Some e -> e
+          | None -> failwith ("peer_matrix: unknown target " ^ name)
+        in
+        let script =
+          match Nyx_peer.Peer_script.find name with
+          | Some s -> s
+          | None -> failwith ("peer_matrix: no peer script for " ^ name)
+        in
+        let cfg =
+          {
+            Campaign.default_config with
+            Campaign.policy = Policy.Aggressive;
+            budget_ns;
+            max_execs;
+            seed = 11;
+            asan = true;
+          }
+        in
+        let peer = Campaign.run ~peer:script ~peer_faults cfg entry in
+        let peer2 = Campaign.run ~peer:script ~peer_faults cfg entry in
+        if not (Report.same_deterministic peer peer2) then
+          failwith
+            (Printf.sprintf "peer_matrix: same-seed %s peer campaigns diverged"
+               name);
+        (match peer.Report.resilience with
+        | Some res when res.Report.faults_aborted <> 0 ->
+          failwith
+            (Printf.sprintf
+               "peer_matrix: %s aborted %d encoder faults (supervised \
+                recovery must absorb all of them)"
+               name res.Report.faults_aborted)
+        | Some _ -> ()
+        | None ->
+          failwith (Printf.sprintf "peer_matrix: %s armed no fault plan" name));
+        let bytecode = Campaign.run cfg entry in
+        let kinds r = List.map (fun c -> c.Report.kind) r.Report.crashes in
+        let peer_only =
+          List.filter
+            (fun k -> not (List.mem k (kinds bytecode)))
+            (kinds peer)
+        in
+        let win =
+          peer.Report.final_edges > bytecode.Report.final_edges
+          || peer_only <> []
+        in
+        if win then incr wins;
+        Printf.printf
+          "  %-14s peer %3d edges, %d crash kinds | bytecode %3d edges, %d \
+           crash kinds | %s%s\n\
+           %!"
+          name peer.Report.final_edges
+          (List.length peer.Report.crashes)
+          bytecode.Report.final_edges
+          (List.length bytecode.Report.crashes)
+          (if win then "peer wins" else "no win")
+          (match peer_only with
+          | [] -> ""
+          | ks -> Printf.sprintf " (peer-only: %s)" (String.concat "," ks));
+        (name, peer, bytecode, peer_only, win))
+      names
+  in
+  let row_json (name, (peer : Report.campaign_result), bytecode, peer_only, win)
+      =
+    let ps =
+      match peer.Report.peer with
+      | Some p -> p
+      | None -> failwith ("peer_matrix: " ^ name ^ " returned no peer block")
+    in
+    Printf.sprintf
+      "    {\"target\": %S, \"peer_edges\": %d, \"bytecode_edges\": %d, \
+       \"peer_crash_kinds\": [%s], \"bytecode_crash_kinds\": [%s], \
+       \"peer_only_crash_kinds\": [%s], \"peer_actions\": %d, \
+       \"faults_fired\": %d, \"desyncs\": %d, \"restarts\": %d, \
+       \"quarantines\": %d, \"win\": %b}"
+      name peer.Report.final_edges bytecode.Report.final_edges
+      (String.concat ", "
+         (List.map
+            (fun c -> Printf.sprintf "%S" c.Report.kind)
+            peer.Report.crashes))
+      (String.concat ", "
+         (List.map
+            (fun (c : Report.crash_report) -> Printf.sprintf "%S" c.Report.kind)
+            bytecode.Report.crashes))
+      (String.concat ", " (List.map (fun k -> Printf.sprintf "%S" k) peer_only))
+      ps.Report.peer_actions
+      (List.fold_left (fun a (_, n) -> a + n) 0 ps.Report.peer_fired)
+      ps.Report.peer_desyncs ps.Report.peer_restarts ps.Report.peer_quarantines
+      win
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"fault_spec\": %S,\n\
+      \  \"budget_ns\": %d,\n\
+      \  \"seed\": 11,\n\
+      \  \"wins\": %d,\n\
+      \  \"targets\": [\n\
+       %s\n\
+      \  ]\n\
+       }"
+      fault_spec budget_ns !wins
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let path = "BENCH_peer.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json ^ "\n"));
+  Printf.printf "  [json] %s\n" path;
+  match Sys.getenv_opt "NYX_BENCH_PEER_GATE" with
+  | None -> ()
+  | Some _ ->
+    if !wins * 3 < 2 * List.length rows then
+      failwith
+        (Printf.sprintf
+           "peer_matrix: peer mode won on only %d/%d targets (gate requires \
+            at least 2 of 3)"
+           !wins (List.length rows))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1993,6 +2194,7 @@ let experiments =
     ("snapshot_matrix", snapshot_matrix);
     ("mutation_matrix", mutation_matrix);
     ("hotpath", hotpath);
+    ("peer_matrix", peer_matrix);
     ("faultcheck", faultcheck);
     ("statecheck", statecheck);
   ]

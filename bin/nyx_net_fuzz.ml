@@ -90,6 +90,9 @@ let print_result r =
   (match r.Nyx_core.Report.resilience with
   | Some res -> Format.printf "%a@." Nyx_core.Report.pp_resilience res
   | None -> ());
+  (match r.Nyx_core.Report.peer with
+  | Some p -> Format.printf "  %a@." Nyx_core.Report.pp_peer p
+  | None -> ());
   match r.Nyx_core.Report.solved_ns with
   | Some t -> Format.printf "  level solved at vtime %a@." Nyx_sim.Clock.pp_duration t
   | None -> ()
@@ -137,6 +140,23 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let mode_arg =
+  let doc =
+    "Campaign mode: $(b,bytecode) (default; program payloads are raw wire \
+     bytes) or $(b,peer) (payloads drive a scripted protocol-correct peer \
+     whose encoder carries typed fault sites; requires a target with a peer \
+     script — see $(b,--peer-faults))."
+  in
+  Arg.(value & opt string "bytecode" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let peer_faults_arg =
+  let doc =
+    "Peer encoder fault spec for $(b,--mode peer), e.g. $(b,all:0.5) or \
+     $(b,length-lie:1.0,truncate:0.2). Sites: flip, truncate, duplicate, \
+     length-lie, desync-frame, drop-field."
+  in
+  Arg.(value & opt (some string) None & info [ "peer-faults" ] ~docv:"SPEC" ~doc)
+
 let checkpoint_arg =
   let doc = "Write a crash-safe campaign checkpoint to $(docv) periodically." in
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
@@ -178,6 +198,37 @@ let parse_faults = function
       (fun m -> `Msg ("bad --faults spec: " ^ m))
       (Result.map Option.some (Nyx_resilience.Plan.parse_spec spec))
 
+(* Resolve --mode/--peer-faults into the optional peer script + encoder
+   fault spec Campaign.run expects. *)
+let parse_peer ~target ~mode ~peer_faults =
+  let ( let* ) = Result.bind in
+  match mode with
+  | "bytecode" ->
+    if peer_faults <> None then
+      Error (`Msg "--peer-faults requires --mode peer")
+    else Ok (None, None)
+  | "peer" ->
+    let* script =
+      match Nyx_peer.Peer_script.find target with
+      | Some s -> Ok s
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "target %S has no peer script; peer mode supports: %s" target
+                (String.concat ", " (Nyx_peer.Peer_script.supported ()))))
+    in
+    let* faults =
+      match peer_faults with
+      | None -> Ok None
+      | Some spec ->
+        Result.map_error
+          (fun m -> `Msg ("bad --peer-faults spec: " ^ m))
+          (Result.map Option.some (Nyx_peer.Peer_fault.parse_spec spec))
+    in
+    Ok (Some script, faults)
+  | m -> Error (`Msg (Printf.sprintf "unknown --mode %S (bytecode or peer)" m))
+
 let make_checkpointing path interval =
   match path with
   | None -> None
@@ -189,12 +240,13 @@ let make_checkpointing path interval =
 
 let fuzz_cmd =
   let run target fuzzer policy budget max_execs seed asan seeds_file crash_dir
-      faults ck_path ck_interval engine_name weights =
+      faults mode peer_faults ck_path ck_interval engine_name weights =
     let ( let* ) = Result.bind in
     let result =
       let* entry = lookup_target target in
       let* seeds = load_seeds entry seeds_file in
       let* faults = parse_faults faults in
+      let* peer, peer_fault_spec = parse_peer ~target ~mode ~peer_faults in
       let budget_ns = int_of_float (budget *. 1e9) in
       if fuzzer = "nyx" then begin
         let* policy =
@@ -215,7 +267,8 @@ let fuzz_cmd =
           }
         in
         match
-          Nyx_core.Campaign.run ?seeds ?faults
+          Nyx_core.Campaign.run ?seeds ?faults ?peer
+            ?peer_faults:peer_fault_spec
             ?checkpoint:(make_checkpointing ck_path ck_interval) cfg entry
         with
         | r -> Ok (Some r)
@@ -223,6 +276,8 @@ let fuzz_cmd =
           (* e.g. a malformed NYX_FAULTS spec from the environment *)
           Error (`Msg m)
       end
+      else if peer <> None then
+        Error (`Msg "--mode peer is nyx-only (baseline fuzzers mutate raw bytes)")
       else begin
         let* spec =
           match
@@ -252,8 +307,8 @@ let fuzz_cmd =
       ret
         (const run $ target_arg $ fuzzer_arg $ policy_arg $ budget_arg $ max_execs_arg
        $ seed_arg $ asan_arg $ seeds_arg $ crash_dir_arg $ faults_arg
-       $ checkpoint_arg $ checkpoint_interval_arg $ engine_arg
-       $ mutator_weights_arg))
+       $ mode_arg $ peer_faults_arg $ checkpoint_arg $ checkpoint_interval_arg
+       $ engine_arg $ mutator_weights_arg))
 
 (* resume command: continue a campaign from a crash-safe checkpoint *)
 

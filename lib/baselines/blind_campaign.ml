@@ -167,4 +167,5 @@ let run ?seeds cfg entry =
         resilience = None;
         placement = None;
         mutation = None;
+        peer = None;
       }

@@ -312,6 +312,8 @@ let capture st : Checkpoint.t =
           (Nyx_resilience.Plan.spec_string p, Nyx_resilience.Plan.state p))
         st.plan;
     c_profile = Option.map Nyx_obs.Profile.state st.prof;
+    c_peer =
+      Option.map Nyx_peer.Peer_driver.state (Executor.peer_driver st.exec);
   }
 
 let maybe_checkpoint st =
@@ -568,6 +570,19 @@ let finish st wall0 =
                 })
               (Nyx_spec.Mutation_engine.stats st.engine);
         };
+    peer =
+      Option.map
+        (fun d ->
+          let s = Nyx_peer.Peer_driver.state d in
+          {
+            Report.peer_actions = s.Nyx_peer.Peer_driver.pd_actions;
+            peer_fired = Nyx_peer.Peer_driver.fired_by_site d;
+            peer_desyncs = s.Nyx_peer.Peer_driver.pd_desyncs;
+            peer_restarts = s.Nyx_peer.Peer_driver.pd_restarts;
+            peer_quarantines = s.Nyx_peer.Peer_driver.pd_quarantines;
+            peer_backoff_ns = s.Nyx_peer.Peer_driver.pd_backoff_ns;
+          })
+        (Executor.peer_driver st.exec);
   }
 
 let trace_campaign_begin st =
@@ -590,15 +605,15 @@ let trace_campaign_begin st =
 
 type inst = { st : state; wall0 : float }
 
-let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
-    ?(collect_exports = false) cfg entry =
+let start ?seeds ?custom ?peer ?peer_faults ?(profile = false) ?faults
+    ?checkpoint ?(collect_exports = false) cfg entry =
   let wall0 = Nyx_parallel.Wall.now_s () in
   let spec = net_spec () in
   let rng = Nyx_sim.Rng.create cfg.seed in
   let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
   let prof = if profile then Some (Nyx_obs.Profile.create ()) else None in
   let exec =
-    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?profile:prof
+    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?peer ?profile:prof
       ~net_spec:spec entry.Registry.target
   in
   let policy = Policy.create cfg.policy (Nyx_sim.Rng.split rng) in
@@ -610,24 +625,40 @@ let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
     Engines.create ~weights:cfg.mutator_weights cfg.engine
       spec.Nyx_spec.Net_spec.spec
   in
-  (* Fault plan: [~faults] wins, else NYX_FAULTS. Its rng split happens
-     ONLY when a plan is armed, so fault-free runs keep the historical
-     draw sequence (golden results stay byte-identical). *)
+  (* Fault plan: [~faults] wins, else NYX_FAULTS; [~peer_faults] items
+     (peer encoder sites) are appended. Its rng split happens ONLY when a
+     plan with at least one non-zero rate is armed, so fault-free runs —
+     including peer campaigns with every peer rate at zero — keep the
+     historical draw sequence (golden results stay byte-identical). *)
   let plan =
-    match
-      (match faults with
-      | Some _ -> faults
-      | None -> Nyx_resilience.Plan.of_env ())
-    with
+    let base =
+      match faults with Some _ -> faults | None -> Nyx_resilience.Plan.of_env ()
+    in
+    let merged =
+      match (base, peer_faults) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (a @ b)
+    in
+    match merged with
     | None -> None
+    | Some sp when Nyx_resilience.Plan.spec_to_string sp = "" -> None
     | Some sp ->
       let p = Nyx_resilience.Plan.create sp (Nyx_sim.Rng.split rng) in
       Executor.arm_faults exec p;
       Some p
   in
-  (* Seed the corpus. *)
+  (* Seed the corpus: peer mode seeds with the script's canned honest
+     sessions (action-selector payloads), bytecode mode with the
+     target's raw packet seeds. *)
   let seed_programs =
-    match seeds with Some s -> s | None -> make_seeds entry spec
+    match seeds with
+    | Some s -> s
+    | None -> (
+      match peer with
+      | Some script -> Nyx_peer.Peer_script.seed_programs script spec
+      | None -> make_seeds entry spec)
   in
   (* Dictionary: the target's shipped tokens plus AFL-style auto-extraction
      from the seeds. *)
@@ -659,7 +690,9 @@ let start ?seeds ?custom ?(profile = false) ?faults ?checkpoint
       dict;
       max_ops;
       plan;
-      static_prior = custom = None;
+      (* off for custom handlers AND peer mode: both give packets
+         semantics the static dataflow model cannot see *)
+      static_prior = custom = None && peer = None;
       prior_udp =
         entry.Registry.target.Target.info.Target.proto = Nyx_netemu.Net.Udp;
       prof;
@@ -743,8 +776,12 @@ let import inst (e : export) =
       end;
       novel)
 
-let run ?seeds ?custom ?(profile = false) ?faults ?checkpoint cfg entry =
-  let inst = start ?seeds ?custom ~profile ?faults ?checkpoint cfg entry in
+let run ?seeds ?custom ?peer ?peer_faults ?(profile = false) ?faults ?checkpoint
+    cfg entry =
+  let inst =
+    start ?seeds ?custom ?peer ?peer_faults ~profile ?faults ?checkpoint cfg
+      entry
+  in
   step inst ~until_ns:max_int;
   finalize inst
 
@@ -789,10 +826,29 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
      re-boot reproduces the original guest layout bit-for-bit. *)
   let layout_cookie = Nyx_sim.Rng.int rng 1_000_000 in
   let prof = if profile then Some (Nyx_obs.Profile.create ()) else None in
+  (* Peer mode is inferred from the checkpoint (the c_peer field is Some
+     exactly when the original campaign ran with a peer script), so
+     resumers never need to re-supply the mode. *)
+  let peer =
+    match ckpt.Checkpoint.c_peer with
+    | None -> None
+    | Some _ -> (
+      match Nyx_peer.Peer_script.find ckpt.Checkpoint.c_target with
+      | Some script -> Some script
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Campaign.resume: checkpoint has peer state but target %S has no \
+              peer script"
+             ckpt.Checkpoint.c_target))
+  in
   let exec =
-    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?profile:prof
+    Executor.create ~asan:cfg.asan ~layout_cookie ?custom ?peer ?profile:prof
       ~net_spec:spec entry.Registry.target
   in
+  (match (ckpt.Checkpoint.c_peer, Executor.peer_driver exec) with
+  | Some s, Some d -> Nyx_peer.Peer_driver.restore_state d s
+  | _ -> ());
   (match (prof, ckpt.Checkpoint.c_profile) with
   | Some p, Some s -> Nyx_obs.Profile.restore_state p s
   | _ -> ());
@@ -883,7 +939,7 @@ let resume_inst ?custom ?(profile = false) ?checkpoint
       dict = ckpt.Checkpoint.c_dict;
       max_ops = ckpt.Checkpoint.c_max_ops;
       plan;
-      static_prior = custom = None;
+      static_prior = custom = None && peer = None;
       prior_udp =
         entry.Registry.target.Target.info.Target.proto = Nyx_netemu.Net.Udp;
       prof;

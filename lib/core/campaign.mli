@@ -56,6 +56,8 @@ val checkpointing :
 val run :
   ?seeds:Nyx_spec.Program.t list ->
   ?custom:Op_handlers.custom_handler ->
+  ?peer:Nyx_peer.Peer_script.t ->
+  ?peer_faults:Nyx_resilience.Plan.spec ->
   ?profile:bool ->
   ?faults:Nyx_resilience.Plan.spec ->
   ?checkpoint:checkpoint_cfg ->
@@ -65,6 +67,24 @@ val run :
 (** [seeds] overrides the registry entry's canned seed programs (they must
     be built against a {!Nyx_spec.Net_spec.create} spec compatible with
     the internal one: use [make_seeds]).
+
+    [peer] switches the campaign into peer mode ([--mode peer] on the
+    CLI): instead of delivering program payloads as raw wire bytes, a
+    scripted protocol-correct peer interprets each payload as an action
+    selector plus an encoder-fault selector (see
+    {!Nyx_peer.Peer_script.decode_payload}), speaks the protocol with the
+    target, and recovers from desyncs under supervision (bounded backoff,
+    session restart, quarantine after repeated failures — partial results,
+    never campaign failure). The peer's session state lives in the
+    snapshot aux area, so incremental snapshots capture mid-handshake
+    peers. Seeds default to the script's honest sessions. The result's
+    [peer] block reports action/fault/desync counters.
+
+    [peer_faults] appends peer encoder-fault sites (see
+    {!Nyx_peer.Peer_fault.parse_spec}) to the armed fault plan. With every
+    rate at zero (or no spec at all) no plan is armed and the campaign's
+    draw sequence — hence its result — is byte-identical to a fault-free
+    peer run.
 
     [profile] (default false) attaches a {!Nyx_obs.Profile.t} to the
     executor and fills the result's [phase_profile] with the per-phase
@@ -99,6 +119,9 @@ val resume :
     continues exactly as the original run would have: the final result
     satisfies {!Report.same_deterministic} against the uninterrupted
     run's. [custom] must be the same handler the original run used.
+    Peer mode is inferred from the checkpoint: when it carries peer
+    counters the target's script is re-attached and the counters
+    restored, so resumers never pass a peer flag.
 
     @raise Invalid_argument if the checkpoint's target does not match
     [entry], or the checkpoint stores an unknown policy/fault spec. *)
@@ -139,6 +162,8 @@ type export = {
 val start :
   ?seeds:Nyx_spec.Program.t list ->
   ?custom:Op_handlers.custom_handler ->
+  ?peer:Nyx_peer.Peer_script.t ->
+  ?peer_faults:Nyx_resilience.Plan.spec ->
   ?profile:bool ->
   ?faults:Nyx_resilience.Plan.spec ->
   ?checkpoint:checkpoint_cfg ->

@@ -68,6 +68,8 @@ type t = {
   (* resilience *)
   c_faults : (string * Nyx_resilience.Plan.state) option;
   c_profile : Nyx_obs.Profile.state option;
+  (* cooperating peer (--mode peer); None for bytecode campaigns *)
+  c_peer : Nyx_peer.Peer_driver.state option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -168,6 +170,14 @@ let add_profile_state b (s : Nyx_obs.Profile.state) =
   add_int_array b s.Nyx_obs.Profile.ps_counts;
   add_int_array b s.Nyx_obs.Profile.ps_virt
 
+let add_peer_state b (s : Nyx_peer.Peer_driver.state) =
+  add_int b s.Nyx_peer.Peer_driver.pd_actions;
+  add_int_array b s.Nyx_peer.Peer_driver.pd_fired;
+  add_int b s.Nyx_peer.Peer_driver.pd_desyncs;
+  add_int b s.Nyx_peer.Peer_driver.pd_restarts;
+  add_int b s.Nyx_peer.Peer_driver.pd_quarantines;
+  add_int b s.Nyx_peer.Peer_driver.pd_backoff_ns
+
 let add_weight b (n, bits) =
   add_str b n;
   add_i64 b bits
@@ -211,6 +221,7 @@ let encode t =
   add_list add_mut_state b t.c_mut_state;
   add_opt add_plan_state b t.c_faults;
   add_opt add_profile_state b t.c_profile;
+  add_opt add_peer_state b t.c_peer;
   Buffer.to_bytes b
 
 (* ------------------------------------------------------------------ *)
@@ -371,6 +382,22 @@ let get_profile_state c =
   let ps_virt = get_int_array c in
   { Nyx_obs.Profile.ps_counts; ps_virt }
 
+let get_peer_state c =
+  let pd_actions = get_int c in
+  let pd_fired = get_int_array c in
+  let pd_desyncs = get_int c in
+  let pd_restarts = get_int c in
+  let pd_quarantines = get_int c in
+  let pd_backoff_ns = get_int c in
+  {
+    Nyx_peer.Peer_driver.pd_actions;
+    pd_fired;
+    pd_desyncs;
+    pd_restarts;
+    pd_quarantines;
+    pd_backoff_ns;
+  }
+
 let get_weight c =
   let n = get_str c in
   let bits = get_i64 c in
@@ -420,6 +447,7 @@ let decode data =
   let c_mut_state = get_list get_mut_state c in
   let c_faults = get_opt get_plan_state c in
   let c_profile = get_opt get_profile_state c in
+  let c_peer = get_opt get_peer_state c in
   if c.pos <> Bytes.length c.data then raise (Corrupt "trailing garbage");
   {
     c_policy;
@@ -451,6 +479,7 @@ let decode data =
     c_mut_state;
     c_faults;
     c_profile;
+    c_peer;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -63,6 +63,8 @@ type t = {
   c_faults : (string * Nyx_resilience.Plan.state) option;
       (** canonical fault spec + plan state, when a plan was armed *)
   c_profile : Nyx_obs.Profile.state option;
+  c_peer : Nyx_peer.Peer_driver.state option;
+      (** cooperating-peer counters, for [--mode peer] campaigns *)
 }
 
 val encode : t -> bytes

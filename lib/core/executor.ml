@@ -8,6 +8,7 @@ type t = {
   ops : Op_handlers.t;
   target : Target.t;
   profile : Nyx_obs.Profile.t option;
+  peer : Nyx_peer.Peer_driver.t option;
   mutable probe_hashed : int; (* state hashes taken by the last probe *)
   mutable probe_skipped : int; (* indices the static prior let it skip *)
 }
@@ -20,7 +21,7 @@ let prof t phase f =
   | Some p -> Nyx_obs.Profile.span p phase t.clock f
 
 let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
-    ?(vm_config = Nyx_vm.Vm.fuzz_config) ?custom ?profile ~net_spec:_ target =
+    ?(vm_config = Nyx_vm.Vm.fuzz_config) ?custom ?peer ?profile ~net_spec:_ target =
   let clock = Nyx_sim.Clock.create () in
   let vm = Nyx_vm.Vm.create ~config:vm_config clock in
   let net = Net.create ~backend:Net.Emulated ~boundaries clock in
@@ -29,6 +30,18 @@ let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
   let ctx = Ctx.of_vm ~asan ~layout_cookie ~net vm in
   let runtime = Target.boot target ctx in
   Target.pump runtime;
+  (* Peer mode: build the cooperating-peer driver and register its
+     session state as aux snapshot state *before* the root snapshot is
+     taken, so every snapshot (root and incremental) captures the peer
+     mid-conversation along with the kernel socket state. *)
+  let peer =
+    Option.map
+      (fun script ->
+        let d = Nyx_peer.Peer_driver.create ?profile ~clock ~net ~runtime ~target script in
+        Nyx_peer.Peer_driver.register_aux d aux;
+        d)
+      peer
+  in
   (* The agent detected the first read on the attack surface: take the
      root snapshot here, exactly where Nyx-Net places it automatically. *)
   let engine = Nyx_snapshot.Engine.create vm aux in
@@ -40,10 +53,17 @@ let create ?(asan = false) ?(layout_cookie = 0) ?(boundaries = true)
         Nyx_obs.Profile.span p Nyx_obs.Profile.Snapshot_create clock (fun () ->
             Nyx_snapshot.Engine.take_incremental engine)
   in
+  (* In peer mode the driver claims every connect/packet/close opcode
+     (it wins over any [custom] handler — the two are not composed). *)
+  let custom =
+    match peer with
+    | Some d -> Some (Nyx_peer.Peer_driver.handler d)
+    | None -> custom
+  in
   let ops =
     Op_handlers.create ~net ~runtime ~target ~on_snapshot:take_snapshot ?custom ()
   in
-  { clock; ctx; engine; ops; target; profile; probe_hashed = 0; probe_skipped = 0 }
+  { clock; ctx; engine; ops; target; profile; peer; probe_hashed = 0; probe_skipped = 0 }
 
 let clock t = t.clock
 let profile t = t.profile
@@ -62,7 +82,11 @@ let reset_exec_state t =
 (* ------------------------------------------------------------------ *)
 (* Fault injection and recovery.                                       *)
 
-let arm_faults t plan = Nyx_vm.Vm.arm_faults (Nyx_snapshot.Engine.vm t.engine) plan
+let arm_faults t plan =
+  Nyx_vm.Vm.arm_faults (Nyx_snapshot.Engine.vm t.engine) plan;
+  Option.iter (fun d -> Nyx_peer.Peer_driver.arm d plan) t.peer
+
+let peer_driver t = t.peer
 let faults t = Nyx_vm.Vm.faults (Nyx_snapshot.Engine.vm t.engine)
 
 let engine_checkpoint t = Nyx_snapshot.Engine.checkpoint t.engine

@@ -21,6 +21,7 @@ val create :
   ?boundaries:bool ->
   ?vm_config:Nyx_vm.Vm.config ->
   ?custom:Op_handlers.custom_handler ->
+  ?peer:Nyx_peer.Peer_script.t ->
   ?profile:Nyx_obs.Profile.t ->
   net_spec:Nyx_spec.Net_spec.t ->
   Nyx_targets.Target.t ->
@@ -29,7 +30,14 @@ val create :
     loop, and takes the root snapshot. [profile], when given, receives a
     per-phase virtual-time attribution of every execution this instance
     runs (reset / prefix-replay / suffix-exec / snapshot-create);
-    accumulation is observational only and changes no result. *)
+    accumulation is observational only and changes no result.
+
+    [peer] switches the instance into peer mode: a {!Nyx_peer.Peer_driver}
+    built from the script claims every connect/packet/close opcode (payloads
+    select peer actions and encoder-fault arms instead of raw bytes), and
+    its session state is registered as aux snapshot state before the root
+    snapshot — incremental snapshots capture the peer mid-handshake.
+    [peer] takes precedence over [custom]. *)
 
 val clock : t -> Nyx_sim.Clock.t
 
@@ -60,6 +68,9 @@ val arm_faults : t -> Nyx_resilience.Plan.t -> unit
     execution. With no plan armed every consultation is one branch. *)
 
 val faults : t -> Nyx_resilience.Plan.t option
+
+val peer_driver : t -> Nyx_peer.Peer_driver.t option
+(** The cooperating-peer driver, when the instance runs in peer mode. *)
 
 (** {2 Campaign checkpointing} *)
 

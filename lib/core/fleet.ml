@@ -174,12 +174,12 @@ let amend_result (r : Report.campaign_result) ~restarts ~backoff_ns =
     in
     { r with Report.resilience = Some { base with Report.restarts; backoff_ns } }
 
-let run_independent ~instances ~workers ~max_restarts ~run_instance ~profile
-    ~config entry t0 =
+let run_independent ~instances ~workers ~max_restarts ~run_instance ~peer
+    ~peer_faults ~profile ~config entry t0 =
   let run_one =
     match run_instance with
     | Some f -> f
-    | None -> fun cfg -> Campaign.run ~profile cfg entry
+    | None -> fun cfg -> Campaign.run ?peer ?peer_faults ~profile cfg entry
   in
   let raw =
     Pool.map_list ~domains:workers
@@ -591,8 +591,8 @@ let with_fleet_pool ~workers ~instances ~batch f =
         f { fmap = (fun g arr -> Pool.map_pool pool ~batch g arr) })
   else f { fmap = (fun g arr -> Array.map g arr) }
 
-let run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~profile
-    ~checkpoint ~config entry t0 =
+let run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~peer
+    ~peer_faults ~profile ~checkpoint ~config entry t0 =
   let st =
     {
       slots =
@@ -615,7 +615,8 @@ let run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~profile
           (fun (_, cfg) ->
             try
               Some
-                (Campaign.start ~profile ~collect_exports:true cfg entry)
+                (Campaign.start ?peer ?peer_faults ~profile
+                   ~collect_exports:true cfg entry)
             with exn ->
               Printf.eprintf "nyx: fleet instance boot failed (%s)\n%!"
                 (exn_brief exn);
@@ -628,9 +629,9 @@ let run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~profile
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(instances = 52) ?domains ?(max_restarts = 3) ?run_instance
-    ?(profile = false) ?sync_ns ?(sync_import = true) ?batch ?checkpoint
-    ~config entry =
+let run ?(instances = 52) ?domains ?(max_restarts = 3) ?run_instance ?peer
+    ?peer_faults ?(profile = false) ?sync_ns ?(sync_import = true) ?batch
+    ?checkpoint ~config entry =
   let t0 = Nyx_parallel.Wall.now_s () in
   let workers = resolved_domains domains in
   trace_fleet_begin ~instances ~sync_ns entry;
@@ -639,8 +640,8 @@ let run ?(instances = 52) ?domains ?(max_restarts = 3) ?run_instance
     | None ->
       if checkpoint <> None then
         invalid_arg "Fleet.run: ~checkpoint requires ~sync_ns";
-      run_independent ~instances ~workers ~max_restarts ~run_instance ~profile
-        ~config entry t0
+      run_independent ~instances ~workers ~max_restarts ~run_instance ~peer
+        ~peer_faults ~profile ~config entry t0
     | Some s when s <= 0 -> invalid_arg "Fleet.run: sync_ns must be positive"
     | Some sync_ns ->
       if run_instance <> None then
@@ -650,8 +651,8 @@ let run ?(instances = 52) ?domains ?(max_restarts = 3) ?run_instance
         | Some b when b >= 1 -> b
         | Some _ | None -> max 1 (instances / max 1 workers)
       in
-      run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~profile
-        ~checkpoint ~config entry t0
+      run_synced ~instances ~workers ~sync_ns ~sync_import ~batch ~peer
+        ~peer_faults ~profile ~checkpoint ~config entry t0
   in
   trace_fleet_end outcome;
   outcome

@@ -115,6 +115,8 @@ val run :
   ?domains:int ->
   ?max_restarts:int ->
   ?run_instance:(Campaign.config -> Report.campaign_result) ->
+  ?peer:Nyx_peer.Peer_script.t ->
+  ?peer_faults:Nyx_resilience.Plan.spec ->
   ?profile:bool ->
   ?sync_ns:int ->
   ?sync_import:bool ->
@@ -125,6 +127,12 @@ val run :
   outcome
 (** [instances] defaults to 52, the paper's core count. [domains]
     overrides NYX_DOMAINS; [1] runs sequentially on the calling domain.
+
+    [peer] / [peer_faults] run every instance in peer mode (see
+    {!Campaign.run}); both modes and {!resume} preserve the fleet's
+    bit-reproducibility at any [domains] (peer session state snapshots
+    with the executor, and each instance's peer counters ride in its
+    campaign checkpoint).
 
     [sync_ns] arms shared-corpus sync epochs every that many virtual
     nanoseconds (must be positive); [sync_import] (default true) set to

@@ -19,6 +19,15 @@ type resilience = {
   backoff_ns : int;
 }
 
+type peer_stats = {
+  peer_actions : int;
+  peer_fired : (string * int) list; (* encoder faults fired, per peer site *)
+  peer_desyncs : int;
+  peer_restarts : int;
+  peer_quarantines : int;
+  peer_backoff_ns : int;
+}
+
 type placement_stats = {
   probes : int;
   probe_hashes : int; (* state hashes taken across all boundary probes *)
@@ -70,6 +79,9 @@ type campaign_result = {
       (* per-mutator attempt/accept/coverage-credit counters from the
          mutation engine; Some for every nyx campaign, None for the
          baseline fuzzers. Deterministic. *)
+  peer : peer_stats option;
+      (* cooperating-peer counters; Some only for --mode peer campaigns.
+         Deterministic. *)
 }
 
 let crashed r = List.exists (fun c -> c.kind <> "level-solved") r.crashes
@@ -88,6 +100,23 @@ let pp_resilience ppf (r : resilience) =
     r.faults_injected r.faults_recovered r.faults_aborted r.restarts
     (if r.quarantined then " (quarantined)" else "")
     Nyx_sim.Clock.pp_duration r.backoff_ns
+
+let pp_peer ppf (p : peer_stats) =
+  let fired = List.fold_left (fun acc (_, n) -> acc + n) 0 p.peer_fired in
+  Format.fprintf ppf
+    "peer: %d actions, %d encoder faults fired%s; desyncs: %d, restarts: %d, \
+     quarantines: %d; backoff: %a"
+    p.peer_actions fired
+    (if fired = 0 then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", "
+            (List.filter_map
+               (fun (site, n) ->
+                 if n = 0 then None else Some (Printf.sprintf "%s:%d" site n))
+               p.peer_fired)))
+    p.peer_desyncs p.peer_restarts p.peer_quarantines Nyx_sim.Clock.pp_duration
+    p.peer_backoff_ns
 
 (* Deterministic comparison: everything but the informational wall-clock
    fields, which legitimately differ between two same-seed runs (and

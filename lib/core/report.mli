@@ -28,6 +28,19 @@ type resilience = {
   backoff_ns : int;  (** virtual backoff the supervisor charged before retries *)
 }
 
+type peer_stats = {
+  peer_actions : int;  (** scripted peer actions executed *)
+  peer_fired : (string * int) list;
+      (** encoder faults fired per peer site, {!Nyx_resilience.Fault.peer_sites}
+          order *)
+  peer_desyncs : int;  (** conversations that fell out of sync *)
+  peer_restarts : int;  (** supervised session restarts after a desync *)
+  peer_quarantines : int;
+      (** sessions quarantined after repeated desyncs (execution finished
+          with partial results) *)
+  peer_backoff_ns : int;  (** virtual backoff charged before restarts *)
+}
+
 type placement_stats = {
   probes : int;  (** state-boundary probes run (one per long-enough entry) *)
   probe_hashes : int;  (** state hashes the probes took *)
@@ -97,6 +110,9 @@ type campaign_result = {
       (** per-mutator attempt/accept/coverage-credit counters from the
           mutation engine; [Some] for every nyx campaign, [None] for the
           baseline fuzzers. Deterministic. *)
+  peer : peer_stats option;
+      (** cooperating-peer counters; [Some] only for [--mode peer]
+          campaigns. Deterministic. *)
 }
 
 val crashed : campaign_result -> bool
@@ -107,6 +123,8 @@ val found_kind : campaign_result -> string -> bool
 val pp_summary : Format.formatter -> campaign_result -> unit
 
 val pp_resilience : Format.formatter -> resilience -> unit
+
+val pp_peer : Format.formatter -> peer_stats -> unit
 
 val same_deterministic : campaign_result -> campaign_result -> bool
 (** Structural equality over every deterministic field — wall-clock

@@ -8,6 +8,7 @@ type phase =
   | Trim
   | Corpus_sync
   | Mutation
+  | Peer
   | Other
 
 let phases =
@@ -21,6 +22,7 @@ let phases =
     Trim;
     Corpus_sync;
     Mutation;
+    Peer;
     Other;
   ]
 
@@ -36,7 +38,8 @@ let index = function
   | Trim -> 6
   | Corpus_sync -> 7
   | Mutation -> 8
-  | Other -> 9
+  | Peer -> 9
+  | Other -> 10
 
 let phase_name = function
   | Reset -> "reset"
@@ -48,6 +51,7 @@ let phase_name = function
   | Trim -> "trim"
   | Corpus_sync -> "corpus-sync"
   | Mutation -> "mutation"
+  | Peer -> "peer"
   | Other -> "other"
 
 (* One campaign owns one profile on one domain (no locks): the fields are

@@ -24,8 +24,11 @@
     fleet virtual time corpus sharing costs); [Mutation] is the mutation
     engine's candidate construction (splice/generate walks and offline
     verification — virtually free like the real system's mutation CPU,
-    so the count and wall columns carry the signal); [Other] is
-    everything unattributed (target boot, root-snapshot creation).
+    so the count and wall columns carry the signal); [Peer] is the
+    cooperating peer driver's work in [--mode peer] campaigns — scripted
+    encoding, fault application and supervised desync recovery (zero for
+    bytecode campaigns); [Other] is everything unattributed (target boot,
+    root-snapshot creation).
 
     Accumulation is purely observational: it reads the virtual clock and
     the wall clock but never advances either, so a profiled campaign
@@ -42,6 +45,7 @@ type phase =
   | Trim
   | Corpus_sync
   | Mutation
+  | Peer
   | Other
 
 val phase_name : phase -> string

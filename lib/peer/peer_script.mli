@@ -1,0 +1,58 @@
+(** Scripted protocol-correct peers.
+
+    A peer script is the cooperating endpoint for one target: a client
+    for server targets (the FTP servers, tinydtls), a server for client
+    targets (mysql-client). It exposes a palette of {e actions} — each
+    one honest protocol step, encoded through {!Peer_fault.message} so
+    the encoder's fault sites know where the length fields and droppable
+    regions live — plus a tiny expectation machine ([a_expect]) the
+    driver uses to detect that the conversation has desynchronized.
+
+    In [--mode peer] the affine program's packet payloads select actions
+    and fault sites instead of carrying raw bytes: byte 0 picks the
+    action (mod the palette size), byte 1 picks the encoder fault site to
+    arm for that action (0 = none; the plan's rate still decides whether
+    it fires). The mutation engines therefore explore the product of
+    protocol-correct action orderings and typed encoder faults — the
+    Fuzztruction-Net observation that a slightly-wrong peer reaches
+    states a byte-level mutator cannot. *)
+
+type action = {
+  a_name : string;
+  a_messages : stage:int -> Peer_fault.message list;
+      (** the honest wire image(s) for this action at the given stage *)
+  a_next : stage:int -> int;  (** stage transition on met expectation *)
+  a_expect : stage:int -> bytes -> bool;
+      (** does the (concatenated) response satisfy the protocol? *)
+}
+
+type t = {
+  p_target : string;  (** target name this script cooperates with *)
+  p_actions : action array;
+  p_banner : (bytes -> bool) option;
+      (** greeting expected right after connect (TCP client peers) *)
+  p_quarantine_after : int;
+      (** consecutive desyncs before the session is quarantined *)
+  p_seed_actions : int list list;
+      (** canned honest sessions, as action indices — the peer-mode seed
+          corpus *)
+}
+
+val find : string -> t option
+(** The script cooperating with the named target, if one exists. *)
+
+val supported : unit -> string list
+(** Target names with a peer script, for CLI diagnostics. *)
+
+val payload_of : ?fault:int -> int -> bytes
+(** [payload_of ~fault action] encodes one peer-mode packet payload:
+    byte 0 the action index, byte 1 the fault selector (0 = none,
+    1..6 = {!Nyx_resilience.Fault.peer_sites} in order). *)
+
+val decode_payload : t -> bytes -> (int * Nyx_resilience.Fault.site option) option
+(** Decode a packet payload into (action index, armed fault site).
+    [None] for an empty payload (a no-op packet). *)
+
+val seed_programs : t -> Nyx_spec.Net_spec.t -> Nyx_spec.Program.t list
+(** One program per canned session: connect, then one packet per action
+    (fault selector 0 — seeds are honest). *)

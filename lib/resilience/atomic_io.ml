@@ -1,12 +1,34 @@
-(* Atomic file replacement: write a sibling temp file, then rename over
-   the destination. A reader (or a resume after a kill) sees either the
-   old complete file or the new complete file, never a torn write. *)
+(* Atomic file replacement: write a sibling temp file, fsync it, then
+   rename over the destination. A reader (or a resume after a kill) sees
+   either the old complete file or the new complete file, never a torn
+   write. A process killed between write and rename leaves the temp
+   file behind; the next write to the same path sweeps such orphans
+   first, so crash loops cannot accumulate stale [.tmp] litter. *)
+
+let tmp_path path = path ^ ".tmp"
+
+(* Remove a stale temp left by a previous crashed writer (best effort:
+   the sweep must never turn a clean write into a failure). *)
+let sweep_orphan path =
+  let tmp = tmp_path path in
+  if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ()
 
 let write_file path data =
-  let tmp = path ^ ".tmp" in
+  let tmp = tmp_path path in
+  sweep_orphan path;
   match
     let oc = open_out_bin tmp in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data);
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_bytes oc data;
+        (* Flush to the OS and fsync before the rename: otherwise a
+           power loss can leave a renamed-but-empty file, which is
+           exactly the torn state the temp+rename dance exists to
+           prevent. *)
+        flush oc;
+        try Unix.fsync (Unix.descr_of_out_channel oc)
+        with Unix.Unix_error _ -> ());
     Sys.rename tmp path
   with
   | () -> Ok ()

@@ -1,11 +1,16 @@
-(** Crash-safe file writes: temp file + rename.
+(** Crash-safe file writes: temp file + fsync + rename.
 
     POSIX [rename] within a directory is atomic, so a checkpoint file on
     disk is always a complete, parseable image — a campaign killed in the
-    middle of a checkpoint write leaves the previous checkpoint intact. *)
+    middle of a checkpoint write leaves the previous checkpoint intact.
+    The temp file is fsynced before the rename (no renamed-but-empty
+    window on power loss), and a stale [.tmp] orphan left by a writer
+    killed between write and rename is swept on the next write. *)
 
 val write_file : string -> bytes -> (unit, string) result
-(** Write to [path ^ ".tmp"], then rename onto [path]. On error the temp
-    file is removed (best effort) and the destination is untouched. *)
+(** Write to [path ^ ".tmp"] (removing any orphaned temp from a previous
+    crashed write first), flush + fsync, then rename onto [path]. On
+    error the temp file is removed (best effort) and the destination is
+    untouched. *)
 
 val read_file : string -> (bytes, string) result

@@ -4,8 +4,25 @@ type site =
   | Dirty_loss
   | Guest_wedge
   | Trace_sink
+  | Peer_flip
+  | Peer_truncate
+  | Peer_duplicate
+  | Peer_length_lie
+  | Peer_desync_frame
+  | Peer_drop_field
 
-let all_sites = [ Snap_corrupt; Restore_fail; Dirty_loss; Guest_wedge; Trace_sink ]
+let all_sites =
+  [
+    Snap_corrupt; Restore_fail; Dirty_loss; Guest_wedge; Trace_sink;
+    Peer_flip; Peer_truncate; Peer_duplicate; Peer_length_lie;
+    Peer_desync_frame; Peer_drop_field;
+  ]
+
+let peer_sites =
+  [
+    Peer_flip; Peer_truncate; Peer_duplicate; Peer_length_lie;
+    Peer_desync_frame; Peer_drop_field;
+  ]
 
 let num_sites = List.length all_sites
 
@@ -15,6 +32,12 @@ let site_index = function
   | Dirty_loss -> 2
   | Guest_wedge -> 3
   | Trace_sink -> 4
+  | Peer_flip -> 5
+  | Peer_truncate -> 6
+  | Peer_duplicate -> 7
+  | Peer_length_lie -> 8
+  | Peer_desync_frame -> 9
+  | Peer_drop_field -> 10
 
 let site_name = function
   | Snap_corrupt -> "snap-corrupt"
@@ -22,6 +45,12 @@ let site_name = function
   | Dirty_loss -> "dirty-loss"
   | Guest_wedge -> "wedge"
   | Trace_sink -> "trace-sink"
+  | Peer_flip -> "peer-flip"
+  | Peer_truncate -> "peer-truncate"
+  | Peer_duplicate -> "peer-duplicate"
+  | Peer_length_lie -> "peer-length-lie"
+  | Peer_desync_frame -> "peer-desync-frame"
+  | Peer_drop_field -> "peer-drop-field"
 
 let site_of_name = function
   | "snap-corrupt" -> Some Snap_corrupt
@@ -29,7 +58,19 @@ let site_of_name = function
   | "dirty-loss" -> Some Dirty_loss
   | "wedge" -> Some Guest_wedge
   | "trace-sink" -> Some Trace_sink
+  | "peer-flip" -> Some Peer_flip
+  | "peer-truncate" -> Some Peer_truncate
+  | "peer-duplicate" -> Some Peer_duplicate
+  | "peer-length-lie" -> Some Peer_length_lie
+  | "peer-desync-frame" -> Some Peer_desync_frame
+  | "peer-drop-field" -> Some Peer_drop_field
   | _ -> None
+
+let is_peer_site = function
+  | Peer_flip | Peer_truncate | Peer_duplicate | Peer_length_lie
+  | Peer_desync_frame | Peer_drop_field ->
+    true
+  | Snap_corrupt | Restore_fail | Dirty_loss | Guest_wedge | Trace_sink -> false
 
 type t = {
   site : site;

@@ -6,7 +6,16 @@
     past the hang budget, and a trace sink whose writes start failing.
     Faults are deterministic — see {!Plan} — and recoverable: the paper's
     recreate-on-demand semantics (§3.4) means any damaged incremental
-    snapshot can be discarded and rebuilt from the root. *)
+    snapshot can be discarded and rebuilt from the root.
+
+    The [Peer_*] sites live in the cooperating peer's {e encoder}
+    (lib/peer, the "No Peer, no Cry" / Fuzztruction-Net direction): the
+    peer still speaks the protocol correctly, but an armed site perturbs
+    one outgoing message — flipped bytes, truncation, duplication, a
+    length field that lies, a desynchronized frame boundary, or a dropped
+    field. Peer faults share the plan's RNG-split-only-when-armed
+    discipline, so campaigns without a peer (or with every peer rate at
+    zero) are byte-identical to pre-peer goldens. *)
 
 type site =
   | Snap_corrupt  (** incremental snapshot image corrupted at creation *)
@@ -16,17 +25,34 @@ type site =
   | Guest_wedge  (** guest wedges beyond the hang budget; the watchdog
                      resets it at {!Nyx_sim.Cost.guest_wedge} cost *)
   | Trace_sink  (** trace-sink write failure (observability only) *)
+  | Peer_flip  (** peer encoder: deterministic byte flips in the payload *)
+  | Peer_truncate  (** peer encoder: message cut short mid-field *)
+  | Peer_duplicate  (** peer encoder: the encoded message is sent twice *)
+  | Peer_length_lie  (** peer encoder: a length field overstates the body *)
+  | Peer_desync_frame  (** peer encoder: frame boundary shifted, desyncing
+                           the target's parser *)
+  | Peer_drop_field  (** peer encoder: a whole field elided from the wire
+                          image *)
 
 val all_sites : site list
+
+val peer_sites : site list
+(** The six [Peer_*] sites, in [all_sites] order. *)
+
 val num_sites : int
+
 val site_index : site -> int
 (** Dense index in [0, num_sites), in [all_sites] order. *)
 
 val site_name : site -> string
 (** The spec-syntax name: ["snap-corrupt"], ["restore-fail"],
-    ["dirty-loss"], ["wedge"], ["trace-sink"]. *)
+    ["dirty-loss"], ["wedge"], ["trace-sink"], ["peer-flip"],
+    ["peer-truncate"], ["peer-duplicate"], ["peer-length-lie"],
+    ["peer-desync-frame"], ["peer-drop-field"]. *)
 
 val site_of_name : string -> site option
+
+val is_peer_site : site -> bool
 
 type t = {
   site : site;

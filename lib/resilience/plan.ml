@@ -1,9 +1,18 @@
 type spec = (Fault.site * float) list
 
-let parse_rate s =
+(* Every parse error names the offending item verbatim and lists the
+   valid site names, so a bad NYX_FAULTS / --faults / --peer-faults spec
+   is diagnosable without reading the source. *)
+let valid_sites () =
+  String.concat "|" (List.map Fault.site_name Fault.all_sites) ^ "|all"
+
+let parse_rate ~item s =
   match float_of_string_opt (String.trim s) with
   | Some r when r >= 0.0 && r <= 1.0 -> Ok r
-  | _ -> Error (Printf.sprintf "invalid fault rate %S (want a float in [0,1])" s)
+  | _ ->
+    Error
+      (Printf.sprintf "invalid fault rate %S in item %S (want a float in [0,1])"
+         s item)
 
 let parse_spec s =
   let items = String.split_on_char ',' s in
@@ -11,11 +20,14 @@ let parse_spec s =
     | [] -> Ok (List.rev acc)
     | item :: rest -> (
       match String.index_opt item ':' with
-      | None -> Error (Printf.sprintf "invalid fault spec item %S (want site:rate)" item)
+      | None ->
+        Error
+          (Printf.sprintf "invalid fault spec item %S (want site:rate with site one of %s)"
+             item (valid_sites ()))
       | Some i -> (
         let name = String.trim (String.sub item 0 i) in
         let rate = String.sub item (i + 1) (String.length item - i - 1) in
-        match parse_rate rate with
+        match parse_rate ~item rate with
         | Error _ as e -> e
         | Ok r ->
           if name = "all" then
@@ -25,11 +37,11 @@ let parse_spec s =
             | Some site -> go ((site, r) :: acc) rest
             | None ->
               Error
-                (Printf.sprintf "unknown fault site %S (want %s or all)" name
-                   (String.concat "|" (List.map Fault.site_name Fault.all_sites))))))
+                (Printf.sprintf "unknown fault site %S in item %S (want one of %s)"
+                   name item (valid_sites ())))))
   in
   match String.trim s with
-  | "" -> Error "empty fault spec"
+  | "" -> Error (Printf.sprintf "empty fault spec (want site:rate,... with site one of %s)" (valid_sites ()))
   | _ -> go [] items
 
 (* Canonical rendering: per-site rates in site order, later spec items

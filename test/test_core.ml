@@ -331,6 +331,7 @@ let test_median_result () =
       resilience = None;
       placement = None;
       mutation = None;
+      peer = None;
     }
   in
   check_int "median of three" 20
@@ -366,6 +367,7 @@ let test_report_helpers () =
       resilience = None;
       placement = None;
       mutation = None;
+      peer = None;
     }
   in
   Alcotest.(check bool) "no crashes" false (Report.crashed base);

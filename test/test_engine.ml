@@ -18,9 +18,11 @@ let check_string = Alcotest.(check string)
 let echo_entry () = Option.get (Nyx_targets.Registry.find "echo")
 let ftp_entry () = Option.get (Nyx_targets.Registry.find "lightftp")
 
+(* domain-safe: test-only lazy fixtures, forced on a single domain *)
 let net_spec = lazy (Campaign.net_spec ())
 let spec () = (Lazy.force net_spec).Nyx_spec.Net_spec.spec
 
+(* domain-safe: test-only lazy fixture, forced on a single domain *)
 let seeds = lazy (Campaign.make_seeds (ftp_entry ()) (Lazy.force net_spec))
 
 (* ------------------------------------------------------------------ *)
@@ -51,6 +53,7 @@ let clean_candidate ~frozen p = function
     && Result.is_ok (Program.validate q)
     && prefix_preserved ~frozen p q
 
+(* domain-safe: test-only lazy mutator fixture, forced on a single domain *)
 let prop_typed_candidates_clean =
   (* The engine's central promise: generate-verify-execute means only
      verifier-clean programs ever leave splice/generate, whatever the

@@ -27,7 +27,11 @@ let small_config =
 (* Fault sites and spec parsing                                        *)
 
 let test_site_names_roundtrip () =
-  check_int "five sites" 5 Fault.num_sites;
+  check_int "eleven sites" 11 Fault.num_sites;
+  check_int "six peer sites" 6 (List.length Fault.peer_sites);
+  List.iter
+    (fun s -> check_bool "peer site classified" true (Fault.is_peer_site s))
+    Fault.peer_sites;
   List.iteri
     (fun i site ->
       check_int "dense index" i (Fault.site_index site);
@@ -628,6 +632,16 @@ let sample_checkpoint () =
             st_recovered = Array.make Fault.num_sites 1;
           } );
     c_profile = None;
+    c_peer =
+      Some
+        {
+          Nyx_peer.Peer_driver.pd_actions = 42;
+          pd_fired = Array.of_list (List.map (fun _ -> 2) Fault.peer_sites);
+          pd_desyncs = 3;
+          pd_restarts = 2;
+          pd_quarantines = 1;
+          pd_backoff_ns = 7_000_000;
+        };
   }
 
 let test_checkpoint_roundtrip () =
